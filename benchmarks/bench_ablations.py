@@ -1,0 +1,116 @@
+"""A1-A6 — ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each bench turns one HAMR feature off and reports how much slower the
+engine gets (``factor`` > 1 means the feature pays for itself), printing
+a one-line verdict per ablation.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.evaluation.ablations import (
+    ablation_async,
+    ablation_bin_size,
+    ablation_combiner,
+    ablation_locality,
+    ablation_memory,
+    ablation_partial_reduce,
+    ablation_skew,
+)
+from repro.evaluation.workloads import (
+    make_histogram_ratings,
+    make_kmeans,
+    make_pagerank,
+    make_wordcount,
+)
+
+
+def _report(benchmark, result):
+    print(
+        f"\n[{result.ablation}] {result.description}: "
+        f"{result.with_feature:.1f}s with vs {result.without_feature:.1f}s without "
+        f"(x{result.factor:.2f})"
+    )
+    benchmark.extra_info.update(
+        {
+            "with_feature_s": round(result.with_feature, 2),
+            "without_feature_s": round(result.without_feature, 2),
+            "factor": round(result.factor, 2),
+        }
+    )
+    return result
+
+
+def test_a1_in_memory_vs_disk_staged(benchmark, fidelity):
+    workload = make_pagerank(fidelity)
+    result = _report(benchmark, run_once(benchmark, lambda: ablation_memory(workload)))
+    # staging every edge through disk must cost something
+    assert result.factor > 1.0
+
+
+def test_a2_async_vs_barrier(benchmark, fidelity):
+    workload = make_wordcount(fidelity)
+    result = _report(benchmark, run_once(benchmark, lambda: ablation_async(workload)))
+    # barriers can only delay completion
+    assert result.factor >= 0.99
+
+
+def test_a3_partial_reduce_vs_reduce(benchmark, fidelity):
+    workload = make_wordcount(fidelity)
+    result = _report(
+        benchmark, run_once(benchmark, lambda: ablation_partial_reduce(workload))
+    )
+    # the full reduce must buffer and group everything; partial reduce
+    # must not be slower
+    assert result.factor >= 0.99
+
+
+def test_a4_bin_size(benchmark, fidelity):
+    workload = make_wordcount(fidelity)
+    result = _report(benchmark, run_once(benchmark, lambda: ablation_bin_size(workload)))
+    # coarse (1MB) bins strangle fine-grain parallelism
+    assert result.factor > 1.0
+
+
+def test_a5_skew_sensitivity(benchmark, fidelity):
+    series = run_once(benchmark, lambda: ablation_skew(fidelity))
+    print()
+    for label, makespan in series:
+        print(f"[A5] ratings skew={label:8s} HAMR makespan={makespan:9.1f}s")
+    benchmark.extra_info.update({label: round(m, 1) for label, m in series})
+    by_label = dict(series)
+    # §5.2: performance degrades as the key space gets more uneven
+    assert by_label["extreme"] > by_label["uniform"]
+
+
+def test_a6_locality_refs(benchmark, fidelity):
+    workload = make_kmeans(fidelity)
+    result = _report(benchmark, run_once(benchmark, lambda: ablation_locality(workload)))
+    # shipping bulk movie data instead of refs must hurt
+    assert result.factor > 1.0
+
+
+def test_a7_combiner(benchmark, fidelity):
+    workload = make_histogram_ratings(fidelity)
+    result = _report(benchmark, run_once(benchmark, lambda: ablation_combiner(workload)))
+    # Table 3: the combiner helps HistogramRatings (flow-control relief)
+    if fidelity != "tiny":
+        assert result.factor >= 1.0
+
+
+def test_a8_cluster_scaling(benchmark, fidelity):
+    """Extra study: HAMR makespan as the cluster widens (4 -> 8 -> 15 workers)."""
+    from repro.evaluation.ablations import scaling_study
+    from repro.evaluation.workloads import make_kmeans
+
+    workload = make_kmeans(fidelity)
+    series = run_once(benchmark, lambda: scaling_study(workload))
+    print()
+    for workers, makespan, speedup in series:
+        print(f"[A8] {workers:2d} workers: HAMR K-Means {makespan:9.1f}s  (x{speedup:.2f} vs 4)")
+    benchmark.extra_info.update({f"workers_{w}": round(m, 1) for w, m, _s in series})
+    # more workers must not slow the job down; at reference fidelity it
+    # should speed it up measurably
+    assert series[-1][1] <= series[0][1]
+    if fidelity != "tiny":
+        assert series[-1][2] > 1.5

@@ -1,0 +1,53 @@
+"""E1 — echo Table 1 (the cluster configuration) and sanity-check the
+simulated substrate's raw capabilities against the hardware numbers."""
+
+import pytest
+
+from conftest import run_once
+from repro.cluster import Cluster, PAPER_CLUSTER
+from repro.common.units import GB, MB
+from repro.evaluation.tables import table1
+
+
+def test_table1_render(benchmark):
+    text = run_once(benchmark, table1)
+    print()
+    print(text)
+    assert "Table 1" in text
+
+
+def test_disk_substrate_bandwidth(benchmark):
+    """A node's 5 striped SATA disks sustain ~750 MB/s aggregate."""
+
+    def measure():
+        cluster = Cluster(PAPER_CLUSTER)
+        node = cluster.worker(0)
+
+        def proc(sim):
+            yield node.disk_read(3 * GB)
+
+        cluster.sim.spawn(proc(cluster.sim))
+        return cluster.run()
+
+    elapsed = run_once(benchmark, measure)
+    effective = 3 * GB / elapsed
+    benchmark.extra_info["effective_MBps"] = round(effective / MB, 1)
+    assert effective == pytest.approx(5 * 150 * MB, rel=0.05)
+
+
+def test_network_substrate_bandwidth(benchmark):
+    """Node-to-node transfers run at the effective FDR-IB rate."""
+
+    def measure():
+        cluster = Cluster(PAPER_CLUSTER)
+        a, b = cluster.worker(0), cluster.worker(1)
+
+        def proc(sim):
+            yield cluster.network.send(a, b, 3 * GB)
+
+        cluster.sim.spawn(proc(cluster.sim))
+        return cluster.run()
+
+    elapsed = run_once(benchmark, measure)
+    # two NIC serializations (egress + ingress)
+    assert elapsed == pytest.approx(2 * 3 * GB / (1.5 * GB), rel=0.05)

@@ -1,0 +1,19 @@
+"""E4 — regenerate Figure 3(a): speedups of the feature-friendly benchmarks.
+
+K-Means, Classification, PageRank and KCliques all exploit HAMR's
+in-memory, asynchronous, locality-aware execution; §5.2: "the performance
+of the four benchmarks boosts at least 6x by our engine".
+"""
+
+from conftest import run_once
+from repro.evaluation.figures import figure3a
+
+
+def test_figure3a(benchmark, fidelity):
+    figure = run_once(benchmark, lambda: figure3a(fidelity))
+    print()
+    print(figure.rendered)
+    assert len(figure.series) == 4
+    benchmark.extra_info.update({label: round(s, 2) for label, s in figure.series})
+    if fidelity != "tiny":
+        assert all(speedup >= 6.0 for _label, speedup in figure.series), figure.series

@@ -1,0 +1,22 @@
+"""E5 — regenerate Figure 3(b): speedups of the IO-intensive benchmarks.
+
+WordCount, HistogramMovies, HistogramRatings and NaiveBayes are the
+simple scan-and-aggregate workloads "Hadoop is very good at": gains
+shrink toward 1x and HistogramRatings inverts (Hadoop ~3x faster) due to
+the five-key skew -> flow control + atomic contention pathology of §5.2.
+"""
+
+from conftest import run_once
+from repro.evaluation.figures import figure3b
+
+
+def test_figure3b(benchmark, fidelity):
+    figure = run_once(benchmark, lambda: figure3b(fidelity))
+    print()
+    print(figure.rendered)
+    assert len(figure.series) == 4
+    benchmark.extra_info.update({label: round(s, 2) for label, s in figure.series})
+    if fidelity != "tiny":
+        speedups = dict(figure.series)
+        assert speedups["HistogramRatings"] < 1.0  # the paper's inversion
+        assert speedups["WordCount"] < 6.0  # modest gains on this side

@@ -1,0 +1,106 @@
+"""Wall-clock performance of the reproduction itself.
+
+Unlike the table/figure benches (which report *virtual* seconds), these
+measure real time: how fast the discrete-event kernel turns over events
+and how much real time a full dual-engine benchmark costs. Useful as a
+regression guard when hacking on the kernel or the engines.
+"""
+
+from repro.cluster import Cluster, small_cluster_spec
+from repro.core import CollectionSource, FlowletGraph, HamrEngine, Loader, Map, PartialReduce
+from repro.sim import Resource, Simulator, SimQueue
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw timeout events through the kernel."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield 0.001
+
+        for _ in range(10):
+            sim.spawn(ticker(sim, 2_000))
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_resource_contention_throughput(benchmark):
+    """Acquire/release churn on a FIFO pool."""
+
+    def run():
+        sim = Simulator()
+        pool = Resource(sim, capacity=8)
+
+        def worker(sim):
+            for _ in range(500):
+                yield pool.acquire()
+                yield 0.01
+                pool.release()
+
+        for _ in range(32):
+            sim.spawn(worker(sim))
+        sim.run()
+        return pool.total_acquired
+
+    assert benchmark(run) == 32 * 500
+
+
+def test_queue_throughput(benchmark):
+    """Bounded-queue put/get pairs (the flow-control hot path)."""
+
+    def run():
+        sim = Simulator()
+        queue = SimQueue(sim, capacity=64)
+        N = 5_000
+
+        def producer(sim):
+            for i in range(N):
+                yield queue.put(i)
+            queue.close()
+
+        def consumer(sim):
+            from repro.sim import QueueClosed
+
+            count = 0
+            try:
+                while True:
+                    yield queue.get()
+                    count += 1
+            except QueueClosed:
+                return count
+
+        sim.spawn(producer(sim))
+        consumer_proc = sim.spawn(consumer(sim))
+        sim.run()
+        return consumer_proc.completion.value
+
+    assert benchmark(run) == 5_000
+
+
+def test_engine_wordcount_wall_time(benchmark):
+    """End-to-end flowlet WordCount (fixed input) in real seconds."""
+
+    lines = [(i, f"alpha beta gamma w{i % 97}") for i in range(2_000)]
+
+    def run():
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=4)))
+        g = FlowletGraph("wc")
+        loader = g.add(Loader("load", CollectionSource(lines, splits_per_worker=4)))
+        tok = g.add(
+            Map("tok", fn=lambda ctx, _k, line: [ctx.emit(w, 1) for w in line.split()] and None)
+        )
+        count = g.add(
+            PartialReduce("count", initial=lambda _w: 0, combine=lambda a, v: a + v)
+        )
+        g.connect(loader, tok)
+        g.connect(tok, count)
+        return engine.run(g)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert dict(result.output("count"))["alpha"] == 2_000

@@ -1,0 +1,51 @@
+"""E2 — regenerate Table 2: all eight benchmarks, IDH 3.0 vs HAMR.
+
+Run::
+
+    pytest benchmarks/bench_table2.py --benchmark-only -s
+
+Each case reports the paper's metric (virtual-clock seconds for both
+engines and the speedup) via ``extra_info`` and asserts the row lands in
+its shape band. The final case prints the whole regenerated table next to
+the published numbers.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.evaluation.paper import PAPER_TABLE2, SHAPE_BANDS
+from repro.evaluation.runner import run_workload
+from repro.evaluation.tables import table2
+from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
+
+
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+def test_table2_row(benchmark, fidelity, name):
+    workload = workload_by_name(name, fidelity)
+
+    row = run_once(benchmark, lambda: run_workload(workload))
+
+    paper = PAPER_TABLE2[name]
+    benchmark.extra_info.update(
+        {
+            "data_size": workload.data_size,
+            "idh_seconds": round(row.idh_seconds, 3),
+            "hamr_seconds": round(row.hamr_seconds, 3),
+            "speedup": round(row.speedup, 2),
+            "paper_idh": paper.idh_seconds,
+            "paper_hamr": paper.hamr_seconds,
+            "paper_speedup": round(paper.speedup, 2),
+        }
+    )
+    if fidelity != "tiny":  # bands are calibrated at the reference fidelity
+        lo, hi = SHAPE_BANDS[name]
+        assert lo <= row.speedup <= hi, (
+            f"{name}: measured speedup {row.speedup:.2f} outside shape band [{lo}, {hi}]"
+        )
+
+
+def test_table2_full(benchmark, fidelity):
+    result = run_once(benchmark, lambda: table2(fidelity))
+    print()
+    print(result.rendered)
+    assert len(result.rows) == 8

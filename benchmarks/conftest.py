@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Fidelity (real data size per workload) comes from ``REPRO_FIDELITY``
+(``tiny`` / ``small`` / ``medium``; default ``small`` — the reference
+fidelity the shape bands are calibrated at; see DESIGN.md §7).
+
+Each harness runs a workload's *simulation* once and reports the paper's
+metric — virtual-clock seconds — through ``benchmark.extra_info`` while
+pytest-benchmark records the harness wall time.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fidelity() -> str:
+    return os.environ.get("REPRO_FIDELITY", "small")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A Lambda architecture on one engine (§1: "HAMR fully supports Lambda
+big data architecture by using the same programming and processing model
+in only one computing engine").
+
+Batch layer: a historical event log resident on node-local disks is
+aggregated by a batch flowlet job. Speed layer: the same flowlet shapes
+consume a live stream of today's events. Serving layer: the driver merges
+both views. One engine, one API, two latencies.
+
+Run:  python examples/lambda_architecture.py
+"""
+
+from repro.cluster import Cluster, small_cluster_spec
+from repro.core import (
+    FlowletGraph,
+    HamrEngine,
+    Loader,
+    LocalFSSource,
+    Map,
+    PartialReduce,
+    StreamSource,
+    TimedBatch,
+)
+from repro.storage import LocalFS
+
+#: historical clickstream: (user, page) events
+HISTORY = [(f"user{i % 7}", f"/page/{i % 5}") for i in range(200)]
+#: today's live events arriving over virtual time
+LIVE = [
+    (1.0, [("user1", "/page/0"), ("user2", "/page/9")]),
+    (2.5, [("user1", "/page/9"), ("user3", "/page/0")]),
+    (4.0, [("user6", "/page/9")]),
+]
+
+
+def count_graph(name: str, source) -> FlowletGraph:
+    """page -> hit-count, the shared shape for both layers."""
+    graph = FlowletGraph(name)
+    loader = graph.add(Loader("events", source))
+    project = graph.add(Map("project", fn=lambda ctx, _user, page: ctx.emit(page, 1)))
+    count = graph.add(
+        PartialReduce("hits", initial=lambda _p: 0, combine=lambda acc, v: acc + v)
+    )
+    graph.connect(loader, project)
+    graph.connect(project, count)
+    return graph
+
+
+def main() -> None:
+    cluster = Cluster(small_cluster_spec(num_workers=4))
+    localfs = LocalFS(cluster)
+    engine = HamrEngine(cluster, localfs=localfs)
+
+    # batch layer: pre-resident history
+    shards = [HISTORY[i :: 4] for i in range(4)]
+    for worker, shard in zip(cluster.workers, shards):
+        localfs.ingest(worker, "history", shard)
+    batch_view = engine.run(
+        count_graph("batch-layer", LocalFSSource(localfs, "history"))
+    )
+
+    # speed layer: the live stream, same flowlet shapes
+    batches = [TimedBatch.make(t, events) for t, events in LIVE]
+    speed_view = engine.run(
+        count_graph("speed-layer", StreamSource(batches, partitions=4))
+    )
+
+    # serving layer: merge
+    merged: dict[str, int] = dict(batch_view.output("hits"))
+    for page, hits in speed_view.output("hits"):
+        merged[page] = merged.get(page, 0) + hits
+
+    print(f"batch layer: {batch_view.makespan:6.2f}s over {len(HISTORY)} historical events")
+    print(f"speed layer: {speed_view.makespan:6.2f}s over {sum(len(e) for _t, e in LIVE)} live events")
+    print("\nserved view (batch + speed):")
+    for page in sorted(merged):
+        batch_hits = dict(batch_view.output("hits")).get(page, 0)
+        live_hits = dict(speed_view.output("hits")).get(page, 0)
+        print(f"  {page:9s}  {merged[page]:4d}  (batch {batch_hits}, live {live_hits})")
+
+
+if __name__ == "__main__":
+    main()

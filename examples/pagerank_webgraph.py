@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Iterative PageRank over a Zipf-linked web graph, with convergence.
+
+Demonstrates §3.1/§3.2: the first iteration builds adjacency lists into
+the distributed KV store (HashJoinRed); every later iteration loads them
+*from memory* (EdgeLoader over KVStoreSource) — one multi-phase HAMR job
+per iteration, no disk round-trips, no per-iteration job armies. The
+driver loops until the total rank movement falls under a tolerance,
+exactly Alg. 2's "while not converge and less than max number of
+iterations".
+
+Run:  python examples/pagerank_webgraph.py
+"""
+
+from repro.apps import pagerank
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+from repro.data.webgraph import webgraph_edges
+
+
+def main() -> None:
+    n_pages, n_edges = 400, 3_000
+    edges = webgraph_edges(n_pages, n_edges, seed=7)
+    env = AppEnv(small_cluster_spec(num_workers=4))
+    params = pagerank.PageRankParams(n_pages=n_pages, n_edges=n_edges, iterations=1, seed=7)
+
+    result, iterations = pagerank.run_hamr_until_converged(
+        env, params, edges, tolerance=1e-4, max_iterations=25
+    )
+    print(f"converged after {iterations} iterations "
+          f"({result.makespan:.2f} virtual seconds total)")
+
+    top = sorted(result.output.items(), key=lambda kv: -kv[1])[:10]
+    print("\ntop pages by rank:")
+    for page, rank in top:
+        print(f"  page {page:4d}  rank {rank:.6f}")
+
+    adjacency_entries = sum(
+        1 for key, _v in env.kvstore.all_items() if key[0] == "adj"
+    )
+    print(
+        f"\nadjacency lists resident in the KV store: {adjacency_entries} "
+        "(loaded from disk exactly once, in iteration 1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

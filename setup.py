@@ -1,0 +1,8 @@
+"""Legacy setup shim: this environment lacks the `wheel` package and network
+access, so editable installs must use `pip install -e . --no-use-pep517
+--no-build-isolation`, which requires a setup.py. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

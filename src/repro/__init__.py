@@ -1,0 +1,12 @@
+"""HAMR reproduction: a dataflow-based in-memory big data engine.
+
+This package reproduces *"Design and Evaluation of a Novel DataFlow based
+BigData Solution"* (Wu, Zheng, Heilig, Gao - PMAM/PPoPP 2015): the HAMR
+flowlet engine, a Hadoop-style MapReduce baseline, the eight evaluation
+benchmarks, and the harness regenerating the paper's tables and figures -
+all running real data on a deterministic discrete-event cluster simulator.
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""The simulated cluster substrate.
+
+Builds the paper's testbed (Table 1: 16 nodes, dual Xeon E5-2620, 32 GB
+RAM, 5 SATA-III disks, 4x FDR InfiniBand) out of :mod:`repro.sim`
+primitives: each :class:`Node` owns a worker-thread pool, a memory account,
+striped local disks and NIC pipes; a :class:`Network` connects them; a
+YARN-like :class:`ResourceManager` hands out memory-sized containers.
+
+Both engines (``repro.core`` — HAMR, ``repro.mapreduce`` — the Hadoop
+baseline) run on exactly this substrate with exactly the same cost model,
+so performance differences between them are emergent, not dialed in.
+"""
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    CostModel,
+    NodeSpec,
+    PAPER_CLUSTER,
+    paper_cluster_spec,
+    small_cluster_spec,
+)
+from repro.cluster.memory import MemoryAccount
+from repro.cluster.node import Node
+from repro.cluster.network import Network
+from repro.cluster.cluster import Cluster
+from repro.cluster.yarn import Container, ResourceManager
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "CostModel",
+    "PAPER_CLUSTER",
+    "paper_cluster_spec",
+    "small_cluster_spec",
+    "MemoryAccount",
+    "Node",
+    "Network",
+    "Cluster",
+    "ResourceManager",
+    "Container",
+]

@@ -1,0 +1,87 @@
+"""The assembled cluster: nodes + network + resource manager + trace."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.yarn import ResourceManager
+from repro.common.partitioner import HashPartitioner, Partitioner
+from repro.sim import Simulator, Trace
+
+
+class Cluster:
+    """A simulated cluster built from a :class:`ClusterSpec`.
+
+    Node 0 is the master (NameNode / ResourceManager host, per §5.1); nodes
+    1..N-1 are the workers both engines execute on. Partitions map onto
+    workers round-robin, so "each node works on a portion of the whole key
+    space" exactly as in the paper.
+    """
+
+    def __init__(self, spec: ClusterSpec, sim: Simulator | None = None, trace: bool = True):
+        self.spec = spec
+        self.sim = sim if sim is not None else Simulator()
+        self.trace = Trace(self.sim, enabled=trace)
+        self.nodes = [
+            Node(self.sim, node_id, spec.spec_for(node_id), spec.cost, trace=self.trace)
+            for node_id in range(spec.num_nodes)
+        ]
+        self.network = Network(
+            self.sim, self.nodes, spec.cost, latency=spec.node.nic_latency
+        )
+        self.resource_manager = ResourceManager(self.sim, self.nodes)
+
+    @property
+    def master(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def workers(self) -> list[Node]:
+        return self.nodes[1:]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def cost(self):
+        return self.spec.cost
+
+    def worker(self, index: int) -> Node:
+        """The ``index``-th worker (0-based)."""
+        return self.nodes[1 + index]
+
+    def owner_of_partition(self, partition: int, num_partitions: int) -> Node:
+        """The worker that owns a shuffle partition (round-robin layout)."""
+        if not 0 <= partition < num_partitions:
+            raise ValueError(f"partition {partition} out of range {num_partitions}")
+        return self.workers[partition % self.num_workers]
+
+    def default_partitioner(self, partitions_per_worker: int = 1) -> Partitioner:
+        """A hash partitioner with one (or more) partitions per worker."""
+        return HashPartitioner(self.num_workers * partitions_per_worker)
+
+    def iter_workers(self) -> Iterator[Node]:
+        return iter(self.workers)
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the simulation (delegates to the kernel)."""
+        return self.sim.run(until=until)
+
+    # -- aggregate metrics ----------------------------------------------------
+
+    def total_disk_bytes(self) -> int:
+        return sum(node.disk.total_bytes for node in self.nodes)
+
+    def total_network_bytes(self) -> int:
+        return self.network.total_bytes
+
+    def max_memory_high_water(self) -> float:
+        return max(node.memory.high_water for node in self.nodes)
+
+    def mean_thread_utilization(self) -> float:
+        workers = self.workers
+        return sum(node.threads.utilization() for node in workers) / len(workers)

@@ -1,0 +1,83 @@
+"""Per-node memory accounting.
+
+The paper's engine keeps intermediate data in memory and spills to local
+disk only when a flowlet's collection exceeds the budget (§2), and memory,
+"instead of cores", is what YARN schedules on (§3.1). We model memory as a
+simple budget: allocations are counted in *scaled* logical bytes, callers
+check ``would_fit`` and choose to spill; nothing blocks, so memory pressure
+turns into extra disk traffic exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MemoryBudgetExceeded
+from repro.common.units import format_bytes
+
+
+class MemoryAccount:
+    """Tracks logical-byte usage against a budget for one node.
+
+    ``allocate`` fails (returns False) when the allocation would exceed the
+    budget; ``force_allocate`` raises instead — used where the modeled
+    system would genuinely crash (e.g. Hadoop's reduce-side OOM on large
+    KCliques graphs, §5.2).
+    """
+
+    def __init__(self, budget: float, name: str = "memory"):
+        if budget <= 0:
+            raise ValueError(f"{name}: budget must be positive")
+        self.budget = float(budget)
+        self.name = name
+        self.used = 0.0
+        self.high_water = 0.0
+        self.failed_allocations = 0
+
+    def would_fit(self, nbytes: float) -> bool:
+        return self.used + nbytes <= self.budget
+
+    def allocate(self, nbytes: float) -> bool:
+        """Reserve ``nbytes``; returns False (and counts a failure) if over budget."""
+        if nbytes < 0:
+            raise ValueError(f"{self.name}: negative allocation")
+        if not self.would_fit(nbytes):
+            self.failed_allocations += 1
+            return False
+        self.used += nbytes
+        if self.used > self.high_water:
+            self.high_water = self.used
+        return True
+
+    def force_allocate(self, nbytes: float) -> None:
+        """Reserve or raise :class:`MemoryBudgetExceeded` (modeled OOM)."""
+        if not self.allocate(nbytes):
+            raise MemoryBudgetExceeded(
+                f"{self.name}: allocation of {format_bytes(nbytes)} exceeds budget "
+                f"({format_bytes(self.used)} used of {format_bytes(self.budget)})"
+            )
+
+    def free(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"{self.name}: negative free")
+        # Tolerance scales with magnitude: scaled byte counts are huge
+        # floats and accumulate relative round-off.
+        if nbytes > self.used + max(1e-6, 1e-9 * self.used):
+            raise ValueError(
+                f"{self.name}: freeing {format_bytes(nbytes)} with only "
+                f"{format_bytes(self.used)} allocated"
+            )
+        self.used = max(0.0, self.used - nbytes)
+
+    @property
+    def available(self) -> float:
+        return max(0.0, self.budget - self.used)
+
+    @property
+    def pressure(self) -> float:
+        """Fraction of the budget currently in use (0..1)."""
+        return self.used / self.budget
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryAccount({self.name}: {format_bytes(self.used)}/"
+            f"{format_bytes(self.budget)}, high={format_bytes(self.high_water)})"
+        )

@@ -1,0 +1,36 @@
+"""Locality-aware split placement, shared by both engines.
+
+Given splits with preferred (replica-holding) nodes, assign each to the
+least-loaded preferred worker, falling back to round-robin — Hadoop's
+"assign computation to the node which is closest to the data" (§3.3) and
+the HAMR loader placement alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.cluster import Cluster
+
+
+def assign_splits(cluster: Cluster, splits: Sequence) -> list[list]:
+    """Returns one split list per worker index."""
+    num_workers = cluster.num_workers
+    worker_index = {w.node_id: i for i, w in enumerate(cluster.workers)}
+    assignment: list[list] = [[] for _ in range(num_workers)]
+    load = [0] * num_workers
+    round_robin = 0
+    for split in splits:
+        preferred = [
+            worker_index[node_id]
+            for node_id in getattr(split, "preferred_nodes", [])
+            if node_id in worker_index
+        ]
+        if preferred:
+            target = min(preferred, key=lambda w: (load[w], w))
+        else:
+            target = round_robin % num_workers
+            round_robin += 1
+        load[target] += 1
+        assignment[target].append(split)
+    return assignment

@@ -1,0 +1,33 @@
+"""Seed derivation for reproducible, independent random streams.
+
+Every generator/workload takes a single integer master seed; components
+derive their own independent streams from (master seed, component name) so
+adding a new consumer never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, *names: object) -> int:
+    """Derive a 63-bit child seed from a master seed and a component path.
+
+    >>> derive_seed(42, "webgraph") != derive_seed(42, "text")
+    True
+    >>> derive_seed(42, "x") == derive_seed(42, "x")
+    True
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(str(int(master_seed)).encode())
+    for name in names:
+        digest.update(b"/")
+        digest.update(str(name).encode())
+    return int.from_bytes(digest.digest(), "little") & ((1 << 63) - 1)
+
+
+def make_rng(master_seed: int, *names: object) -> np.random.Generator:
+    """A numpy Generator seeded from ``derive_seed(master_seed, *names)``."""
+    return np.random.default_rng(derive_seed(master_seed, *names))

@@ -1,0 +1,133 @@
+"""Running statistics and histograms used by metrics and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class RunningStats:
+    """Welford's online mean/variance with min/max tracking.
+
+    Numerically stable; used for per-resource utilization and task-duration
+    metrics where we cannot afford to keep every sample.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.4g}, "
+            f"stddev={self.stddev:.4g}, min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class Histogram:
+    """Fixed-bin histogram over a closed interval.
+
+    Matches the semantics of the HistogramMovies/HistogramRatings
+    benchmarks: values outside the range clamp into the boundary bins so no
+    sample is ever dropped.
+    """
+
+    def __init__(self, low: float, high: float, num_bins: int):
+        if num_bins <= 0:
+            raise ValueError("num_bins must be positive")
+        if not high > low:
+            raise ValueError("high must exceed low")
+        self.low = float(low)
+        self.high = float(high)
+        self.num_bins = num_bins
+        self.counts = [0] * num_bins
+        self._width = (self.high - self.low) / num_bins
+
+    def bin_index(self, value: float) -> int:
+        idx = int((value - self.low) / self._width)
+        return min(max(idx, 0), self.num_bins - 1)
+
+    def add(self, value: float, count: int = 1) -> None:
+        self.counts[self.bin_index(value)] += count
+
+    def merge(self, other: "Histogram") -> None:
+        if (other.low, other.high, other.num_bins) != (self.low, self.high, self.num_bins):
+            raise ValueError("cannot merge histograms with different binning")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def edges(self) -> list[float]:
+        return [self.low + i * self._width for i in range(self.num_bins + 1)]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already *sorted* sequence.
+
+    ``q`` is in [0, 100]. Raises on an empty input.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of non-negative values — the skew probe for key spaces.
+
+    0 means perfectly even, →1 means all mass on one element.
+    """
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ValueError("gini of empty sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError("gini requires non-negative values")
+    total = sum(vals)
+    if total == 0:
+        return 0.0
+    n = len(vals)
+    weighted = sum((i + 1) * v for i, v in enumerate(vals))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

@@ -1,0 +1,67 @@
+"""Byte units, size parsing and human-readable formatting.
+
+All sizes inside the library are plain ``int`` bytes and all durations are
+``float`` seconds of *virtual* time; these helpers exist so that workload
+definitions and reports can speak in ``"300GB"`` / ``"5215.1s"`` terms.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+_SUFFIXES: dict[str, int] = {
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse ``"300GB"``, ``"168 MB"``, ``"1.5G"`` or a raw number into bytes.
+
+    >>> parse_bytes("168MB")
+    176160768
+    >>> parse_bytes(4096)
+    4096
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = match.groups()
+    suffix = suffix.upper() or "B"
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(value) * _SUFFIXES[suffix])
+
+
+def format_bytes(n_bytes: int | float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(3 * GB)`` -> ``'3.0GB'``."""
+    n = float(n_bytes)
+    for suffix, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f}{suffix}"
+    return f"{int(n)}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration like the paper's tables (seconds with ms precision).
+
+    >>> format_duration(5215.079)
+    '5215.079s'
+    """
+    return f"{seconds:.3f}s"

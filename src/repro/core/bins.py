@@ -1,0 +1,106 @@
+"""Bins — the engine's unit of data movement and task enablement.
+
+"Each bin represents the minimum data required to enable a flowlet" (§2):
+producers pack emitted key-value pairs into per-(edge, partition) bins;
+a sealed bin is shipped through the shuffle to the partition's owner node,
+where it lands in the destination flowlet's bounded inbox and enables one
+fine-grain flowlet task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.common.sizeof import pair_size
+
+
+@dataclass
+class Bin:
+    """A packed batch of key-value pairs bound for one (edge, partition).
+
+    ``aggregated`` marks key-space-bounded aggregate data, charged
+    unscaled under the scale model (see ``Flowlet.aggregated_output``).
+    """
+
+    edge_id: int
+    partition: int
+    pairs: list[tuple[Any, Any]] = field(default_factory=list)
+    nbytes: int = 0  # real logical bytes
+    aggregated: bool = False
+    #: original record count this bin stands for (set by combiners; 0 = its
+    #: own pair count). Accumulator-update pressure follows the original
+    #: records — Table 3's finding is that combining shrinks shuffle volume
+    #: but not the serialized accumulator path.
+    represents: int = 0
+
+    @property
+    def effective_records(self) -> int:
+        return self.represents or len(self.pairs)
+
+    @property
+    def nrecords(self) -> int:
+        return len(self.pairs)
+
+    def append(self, key: Any, value: Any) -> None:
+        self.pairs.append((key, value))
+        self.nbytes += pair_size(key, value)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.pairs)
+
+
+class BinPacker:
+    """Accumulates emitted pairs into bins for one producing flowlet instance.
+
+    One open bin per (edge, partition). ``add`` returns the sealed bin when
+    the open bin crosses the target size, else None; ``drain`` seals and
+    returns everything left (called at task/flowlet completion so no pair is
+    ever stranded).
+    """
+
+    def __init__(self, bin_size: int, aggregated: bool = False):
+        if bin_size <= 0:
+            raise ValueError("bin_size must be positive")
+        self.bin_size = bin_size
+        self.aggregated = aggregated
+        self._open: dict[tuple[int, int], Bin] = {}
+        # Metrics
+        self.bins_sealed = 0
+        self.pairs_packed = 0
+
+    def add(self, edge_id: int, partition: int, key: Any, value: Any) -> Optional[Bin]:
+        slot = (edge_id, partition)
+        open_bin = self._open.get(slot)
+        if open_bin is None:
+            open_bin = Bin(edge_id, partition, aggregated=self.aggregated)
+            self._open[slot] = open_bin
+        open_bin.append(key, value)
+        self.pairs_packed += 1
+        if open_bin.nbytes >= self.bin_size:
+            del self._open[slot]
+            self.bins_sealed += 1
+            return open_bin
+        return None
+
+    def drain(self, edge_id: Optional[int] = None) -> list[Bin]:
+        """Seal and return all open bins (optionally only one edge's)."""
+        drained: list[Bin] = []
+        for slot in sorted(self._open):
+            if edge_id is not None and slot[0] != edge_id:
+                continue
+            bin_ = self._open[slot]
+            if bin_.pairs:
+                drained.append(bin_)
+        for bin_ in drained:
+            del self._open[(bin_.edge_id, bin_.partition)]
+            self.bins_sealed += 1
+        return drained
+
+    @property
+    def open_bins(self) -> int:
+        return len(self._open)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(b.nbytes for b in self._open.values())

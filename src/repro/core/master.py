@@ -1,0 +1,168 @@
+"""Master-slave mode — job management on top of the engine (§7).
+
+"More useful features e.g. key-value store and master-slave mode are
+developed": the KV store lives in :mod:`repro.storage.kvstore`; this
+module is the master side. A :class:`HamrMaster` owns an engine, accepts
+flowlet-graph submissions into a queue, runs them in order, records
+per-job lifecycle (QUEUED → RUNNING → SUCCEEDED / FAILED) and exposes a
+cluster view of its slaves (the worker nodes).
+
+A failed job poisons the session — the underlying simulation may hold
+half-finished processes — so the master refuses further work until
+``reset`` is called with a fresh engine, making failure handling explicit
+rather than silent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import JobError, ReproError
+from repro.core.engine import HamrEngine, JobResult
+from repro.core.graph import FlowletGraph
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class JobHandle:
+    """One submitted job's lifecycle record."""
+
+    job_id: int
+    graph: FlowletGraph
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0  # virtual time
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[JobResult] = None
+    error: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+
+@dataclass
+class WorkerInfo:
+    """The master's view of one slave node."""
+
+    node_id: int
+    worker_threads: int
+    memory_budget: float
+    memory_used: float
+    memory_high_water: float
+
+    @property
+    def memory_pressure(self) -> float:
+        return self.memory_used / self.memory_budget if self.memory_budget else 0.0
+
+
+class HamrMaster:
+    """FIFO job manager over one resident HAMR engine."""
+
+    def __init__(self, engine: HamrEngine):
+        self.engine = engine
+        self._queue: list[JobHandle] = []
+        self._history: list[JobHandle] = []
+        self._next_id = 1
+        self.healthy = True
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, graph: FlowletGraph) -> JobHandle:
+        """Validate and enqueue a job; returns its handle immediately."""
+        if not self.healthy:
+            raise JobError("master is poisoned by an earlier failure; call reset()")
+        graph.validate()
+        handle = JobHandle(
+            self._next_id, graph, submitted_at=self.engine.cluster.sim.now
+        )
+        self._next_id += 1
+        self._queue.append(handle)
+        return handle
+
+    def run_pending(self) -> list[JobHandle]:
+        """Drain the queue in submission order; returns the handles run.
+
+        Stops at the first failure (which poisons the master); remaining
+        jobs stay QUEUED.
+        """
+        ran: list[JobHandle] = []
+        while self._queue and self.healthy:
+            handle = self._queue.pop(0)
+            ran.append(handle)
+            self._run(handle)
+        return ran
+
+    def run(self, graph: FlowletGraph) -> JobHandle:
+        """Submit and execute immediately (after any queued jobs)."""
+        handle = self.submit(graph)
+        self.run_pending()
+        return handle
+
+    def _run(self, handle: JobHandle) -> None:
+        handle.state = JobState.RUNNING
+        handle.started_at = self.engine.cluster.sim.now
+        try:
+            handle.result = self.engine.run(handle.graph)
+            handle.state = JobState.SUCCEEDED
+        except ReproError as exc:
+            handle.state = JobState.FAILED
+            handle.error = str(exc.__cause__ or exc)
+            self.healthy = False
+        finally:
+            handle.finished_at = self.engine.cluster.sim.now
+            self._history.append(handle)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def queued(self) -> list[JobHandle]:
+        return list(self._queue)
+
+    @property
+    def history(self) -> list[JobHandle]:
+        return list(self._history)
+
+    def job(self, job_id: int) -> JobHandle:
+        for handle in self._history + self._queue:
+            if handle.job_id == job_id:
+                return handle
+        raise JobError(f"unknown job id {job_id}")
+
+    def workers(self) -> list[WorkerInfo]:
+        """Heartbeat-style view of every slave node."""
+        return [
+            WorkerInfo(
+                node_id=node.node_id,
+                worker_threads=node.spec.worker_threads,
+                memory_budget=node.memory.budget,
+                memory_used=node.memory.used,
+                memory_high_water=node.memory.high_water,
+            )
+            for node in self.engine.cluster.workers
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        by_state: dict[str, int] = {}
+        for handle in self._history:
+            by_state[handle.state.value] = by_state.get(handle.state.value, 0) + 1
+        by_state["queued"] = len(self._queue)
+        return {
+            "healthy": self.healthy,
+            "jobs": by_state,
+            "virtual_time": self.engine.cluster.sim.now,
+            "workers": len(self.engine.cluster.workers),
+        }
+
+    def reset(self, engine: HamrEngine) -> None:
+        """Recover from a failure with a fresh engine; queued jobs survive."""
+        self.engine = engine
+        self.healthy = True

@@ -1,0 +1,706 @@
+"""The per-node flowlet runtime (§2, Fig. 2).
+
+Each worker node runs a :class:`NodeRuntime` holding an instance of the
+*whole* flowlet graph ("the run-time on each node includes the whole
+flowlet graph instead of subgraph", §2). Per flowlet instance, a
+*dispatcher* process implements the paper's data-driven scheduling rules:
+
+* **Loader** — initially READY; fires one task per assigned input split,
+  throttled by the per-node loader-slot resource (the flow-control knob:
+  "the number of concurrent loader tasks can be decreased", §2).
+* **Map / PartialReduce** — a bin in the inbox makes the flowlet READY;
+  each bin enables one fine-grain task, fired "once there is a free thread
+  in the thread pool".
+* **Reduce** — waits for completion of *all* upstream instances (the
+  internal barrier), collecting bins into a grouped store meanwhile and
+  spilling to local disk when the memory budget overflows.
+
+Flow control: a sealed bin is shipped to the destination node's bounded
+inbox; when the inbox is full, the shipping task *releases its thread* and
+reschedules once space frees — the paper's "the flowlet stops the current
+execution immediately and will be scheduled in a later time".
+
+Completion messages propagate from loaders downstream node-by-node; an
+instance completes when every upstream instance on every node has
+completed and its own inbox has drained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.common.errors import JobError
+from repro.common.sizeof import logical_sizeof, pair_size
+from repro.core.bins import Bin, BinPacker
+from repro.core.context import BROADCAST_PARTITION, TaskContext
+from repro.core.flowlet import Flowlet, FlowletKind, FlowletStatus, Loader, Map, PartialReduce, Reduce
+from repro.core.graph import Edge, EdgeMode
+from repro.core.sources import SourceSplit
+from repro.sim import QueueClosed, Resource, SerializedCell, SimQueue
+from repro.sim.core import SimEvent
+from repro.storage.spill import SpillManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import HamrEngine
+
+#: logical size of a completion control message
+_COMPLETION_MSG_BYTES = 32
+
+
+class ThreadLease:
+    """A task's hold on one worker-thread slot, releasable mid-task.
+
+    Flow-control stalls release the slot so other READY flowlet tasks can
+    run, then reacquire before resuming — the fine-grain rescheduling the
+    paper describes.
+    """
+
+    def __init__(self, pool: Resource):
+        self.pool = pool
+        self.held = False
+
+    def acquire(self):
+        event = self.pool.acquire()
+        event.add_callback(lambda _e: self._mark(True))
+        return event
+
+    def release(self) -> None:
+        if not self.held:
+            raise JobError("releasing a thread lease that is not held")
+        self.pool.release()
+        self.held = False
+
+    def _mark(self, held: bool) -> None:
+        self.held = held
+
+
+class FlowletInstance:
+    """All per-(flowlet, node) state."""
+
+    def __init__(
+        self,
+        runtime: "NodeRuntime",
+        flowlet: Flowlet,
+        inbox_capacity: float,
+    ):
+        self.runtime = runtime
+        self.flowlet = flowlet
+        self.node = runtime.node
+        sim = runtime.sim
+        self.status = (
+            FlowletStatus.READY
+            if flowlet.kind is FlowletKind.LOADER
+            else FlowletStatus.DORMANT
+        )
+        self.inbox = SimQueue(
+            sim,
+            capacity=inbox_capacity if flowlet.kind is not FlowletKind.LOADER else None,
+            name=f"{flowlet.name}@n{self.node.node_id}.inbox",
+        )
+        self.completion_event = SimEvent(sim, name=f"{flowlet.name}@n{self.node.node_id}.done")
+        # Completion bookkeeping: edge_id -> set of sender worker indices seen.
+        self.completions_seen: dict[int, set[int]] = {
+            e.edge_id: set() for e in runtime.graph.in_edges(flowlet)
+        }
+        # Reduce state
+        self.groups: dict[Any, list[Any]] = {}
+        self.group_bytes = 0  # real logical bytes resident in `groups`
+        self.spill_runs: list = []
+        # Partial-reduce state
+        self.accs: dict[Any, Any] = {}
+        self.acc_bytes: dict[Any, int] = {}
+        self.acc_spill_runs: list = []
+        self.cells: dict[Any, SerializedCell] = {}
+        # Shared emission state
+        self.packer = BinPacker(
+            runtime.cost.bin_size, aggregated=flowlet.aggregated_output
+        )
+        # Scale-model bookkeeping: True once every inbound bin so far was
+        # aggregated (key-space-bounded) data.
+        self.input_aggregated: bool | None = None
+        self.ctx: Optional[TaskContext] = None
+        # Metrics
+        self.tasks_run = 0
+        self.bins_in = 0
+        self.pairs_in = 0
+        self.stalls = 0
+        self.stall_streak = 0  # consecutive stalls feeding the adaptive throttle
+
+    # -- completion bookkeeping --------------------------------------------------
+
+    def all_upstream_complete(self) -> bool:
+        expected = self.runtime.engine.num_workers
+        return all(
+            len(seen) >= expected for seen in self.completions_seen.values()
+        )
+
+    def note_completion(self, edge_id: int, sender_worker: int) -> None:
+        self.completions_seen[edge_id].add(sender_worker)
+        if self.all_upstream_complete() and not self.inbox.closed:
+            self.inbox.close()
+
+    def cell_for(self, key: Any) -> SerializedCell:
+        cell = self.cells.get(key)
+        if cell is None:
+            cost = self.runtime.cost
+            cell = SerializedCell(
+                self.runtime.sim,
+                update_cost=cost.atomic_update_cost * cost.scale,
+                base_cost=cost.atomic_base_cost * cost.scale,
+                name=f"{self.flowlet.name}@n{self.node.node_id}.cell",
+            )
+            self.cells[key] = cell
+        return cell
+
+
+class NodeRuntime:
+    """One worker's share of a running HAMR job."""
+
+    def __init__(self, engine: "HamrEngine", worker_index: int):
+        self.engine = engine
+        self.graph = engine.graph
+        self.worker_index = worker_index
+        self.node = engine.cluster.worker(worker_index)
+        self.sim = engine.cluster.sim
+        self.cost = engine.cluster.cost
+        self.loader_slots = Resource(
+            self.sim, engine.cluster.cost.hamr_loader_slots,
+            name=f"n{self.node.node_id}.loader_slots",
+        )
+        self.spill = SpillManager(self.node)
+        self.stalls_total = 0  # flow-control stalls by this node's tasks
+        self.instances: dict[str, FlowletInstance] = {}
+        for flowlet in self.graph.flowlets:
+            capacity = self._inbox_capacity(flowlet)
+            self.instances[flowlet.name] = FlowletInstance(self, flowlet, capacity)
+        for instance in self.instances.values():
+            instance.ctx = TaskContext(
+                instance,
+                self.node,
+                worker_index,
+                engine.num_workers,
+                instance.packer,
+                self._resolved_out_edges(instance.flowlet),
+                engine.localfs,
+                engine.kvstore,
+            )
+
+    def _divisor(self, aggregated: bool) -> float:
+        """Cost divisor for aggregated (key-space-bounded) data.
+
+        Such records are charged unscaled: dividing the real quantity by
+        the scale factor cancels the multiplier the cost model applies.
+        """
+        return self.cost.scale if aggregated else 1.0
+
+    def _inbox_capacity(self, flowlet: Flowlet) -> float:
+        in_edges = self.graph.in_edges(flowlet)
+        caps = [e.capacity for e in in_edges if e.capacity is not None]
+        return min(caps) if caps else self.cost.flow_capacity
+
+    def _resolved_out_edges(self, flowlet: Flowlet) -> list[Edge]:
+        return self.graph.out_edges(flowlet)
+
+    def instance(self, name: str) -> FlowletInstance:
+        return self.instances[name]
+
+    # -- start -----------------------------------------------------------------------
+
+    def start(self) -> list[SimEvent]:
+        """Run setup hooks, spawn one dispatcher per instance; returns
+        the instances' completion events."""
+        events = []
+        for flowlet in self.graph.topological_order():
+            instance = self.instances[flowlet.name]
+            flowlet.setup(instance.ctx)
+            if flowlet.kind is FlowletKind.LOADER:
+                dispatcher = self._loader_dispatcher(instance)
+            elif flowlet.kind is FlowletKind.REDUCE:
+                dispatcher = self._reduce_dispatcher(instance)
+            else:
+                dispatcher = self._bin_dispatcher(instance)
+            self.sim.spawn(
+                dispatcher, name=f"{flowlet.name}@n{self.node.node_id}.dispatch"
+            )
+            events.append(instance.completion_event)
+        return events
+
+    # -- loader ------------------------------------------------------------------------
+
+    def _loader_dispatcher(self, instance: FlowletInstance):
+        splits = self.engine.splits_for(instance.flowlet, self.worker_index)
+        tasks = []
+        for split in splits:
+            yield self.loader_slots.acquire()
+            lease = ThreadLease(self.node.threads)
+            yield lease.acquire()
+            task = self.sim.spawn(
+                self._loader_task(instance, split, lease),
+                name=f"{instance.flowlet.name}@n{self.node.node_id}.load{split.split_id}",
+            )
+            tasks.append(task)
+        for task in tasks:
+            yield task
+        yield from self._complete_instance(instance)
+
+    def _loader_task(self, instance: FlowletInstance, split: SourceSplit, lease: ThreadLease):
+        flowlet = instance.flowlet
+        assert isinstance(flowlet, Loader)
+        try:
+            reader = split.reader() if hasattr(split, "reader") else None
+            while True:
+                if reader is not None:
+                    records = yield from reader.next_chunk(self.node)
+                    if records is None:
+                        break
+                else:
+                    records = yield from split.read(self.node)
+                yield from self._process_loaded(instance, records, lease)
+                if reader is None:
+                    break
+        finally:
+            lease.release()
+            self.loader_slots.release()
+
+    def _process_loaded(self, instance: FlowletInstance, records: list, lease: ThreadLease):
+        """Run loader user code chunk-by-chunk so output pipelines finely."""
+        flowlet = instance.flowlet
+        chunk_bytes = self.engine.config.loader_chunk_bytes
+        chunk: list = []
+        size = 0
+        chunks = []
+        for record in records:
+            chunk.append(record)
+            size += logical_sizeof(record)
+            if size >= chunk_bytes:
+                chunks.append((chunk, size))
+                chunk, size = [], 0
+        if chunk:
+            chunks.append((chunk, size))
+        for chunk, size in chunks:
+            instance.tasks_run += 1
+            yield self.node.record_compute(len(chunk), size, flowlet.compute_factor)
+            flowlet.load(instance.ctx, chunk)
+            yield from self._drain_ctx(instance, lease)
+
+    # -- map / partial reduce -----------------------------------------------------------
+
+    def _bin_dispatcher(self, instance: FlowletInstance):
+        tasks = []
+        held_bins = []  # barrier-mode ablation: buffer until upstream completes
+        barrier = self.engine.config.barrier_mode
+        while True:
+            try:
+                bin_ = yield instance.inbox.get()
+            except QueueClosed:
+                break
+            instance.status = FlowletStatus.READY
+            if barrier:
+                held_bins.append(bin_)
+                continue
+            lease = ThreadLease(self.node.threads)
+            yield lease.acquire()
+            task = self.sim.spawn(
+                self._bin_task(instance, bin_, lease),
+                name=f"{instance.flowlet.name}@n{self.node.node_id}.task",
+            )
+            tasks.append(task)
+        for bin_ in held_bins:
+            lease = ThreadLease(self.node.threads)
+            yield lease.acquire()
+            task = self.sim.spawn(
+                self._bin_task(instance, bin_, lease),
+                name=f"{instance.flowlet.name}@n{self.node.node_id}.task",
+            )
+            tasks.append(task)
+        for task in tasks:
+            yield task
+        if instance.flowlet.kind is FlowletKind.PARTIAL_REDUCE:
+            yield from self._finalize_partial_reduce(instance)
+        yield from self._complete_instance(instance)
+
+    def _bin_task(self, instance: FlowletInstance, bin_: Bin, lease: ThreadLease):
+        flowlet = instance.flowlet
+        instance.tasks_run += 1
+        instance.bins_in += 1
+        instance.pairs_in += bin_.nrecords
+        try:
+            div = self._divisor(bin_.aggregated)
+            yield self.node.compute(self.cost.bin_overhead)
+            yield self.node.record_compute(
+                bin_.nrecords / div, bin_.nbytes / div, flowlet.compute_factor
+            )
+            if flowlet.kind is FlowletKind.MAP:
+                assert isinstance(flowlet, Map)
+                for key, value in bin_:
+                    flowlet.map(instance.ctx, key, value)
+            else:
+                assert isinstance(flowlet, PartialReduce)
+                yield from self._fold_bin(instance, flowlet, bin_)
+            yield from self._drain_ctx(instance, lease)
+        finally:
+            lease.release()
+
+    def _fold_bin(self, instance: FlowletInstance, flowlet: PartialReduce, bin_: Bin):
+        """Fold one bin into the per-key accumulators, modeling atomic
+        contention per touched key and accounting accumulator memory."""
+        touched: dict[Any, int] = {}
+        for key, value in bin_:
+            if key in instance.accs:
+                instance.accs[key] = flowlet.combine(instance.accs[key], value)
+            else:
+                instance.accs[key] = flowlet.combine(flowlet.initial(key), value)
+            touched[key] = touched.get(key, 0) + 1
+        # Memory delta for touched accumulators; spill everything if over
+        # budget. Accumulator stores of aggregated-output flowlets are
+        # key-space-bounded, hence charged unscaled.
+        acc_div = self._divisor(flowlet.aggregated_output)
+        delta = 0
+        for key in touched:
+            new_size = pair_size(key, instance.accs[key])
+            delta += new_size - instance.acc_bytes.get(key, 0)
+            instance.acc_bytes[key] = new_size
+        if delta > 0 and not self.node.alloc(delta / acc_div):
+            yield from self._spill_accumulators(instance, flowlet, extra=delta)
+        # Contended atomic updates serialize per key cell (§5.2); vector
+        # accumulators touch `update_weight` cells per folded value. A
+        # combined pair carries the update pressure of every record it
+        # represents (the paper's Table 3: combining barely relieves the
+        # serialized accumulator path).
+        in_div = self._divisor(bin_.aggregated)
+        pressure = bin_.effective_records / max(1, bin_.nrecords)
+        if pressure > 1.0:  # combined input: apply the calibrated relief
+            pressure = max(1.0, pressure * (1.0 - self.cost.combiner_update_relief))
+        for key in sorted(touched, key=repr):
+            n_updates = max(
+                1, round(touched[key] * pressure * flowlet.update_weight / in_div)
+            )
+            yield instance.cell_for(key).update(n_updates)
+
+    def _spill_accumulators(self, instance: FlowletInstance, flowlet: PartialReduce, extra: int):
+        # Snapshot and clear synchronously (no yields) so concurrent fold
+        # tasks never double-spill or double-free.
+        acc_div = self._divisor(flowlet.aggregated_output)
+        resident = (sum(instance.acc_bytes.values()) - extra) / acc_div
+        pairs = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
+        instance.accs = {}
+        instance.acc_bytes = {}
+        if resident > 0:
+            self.node.free(resident)
+        run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+        instance.acc_spill_runs.append(run)
+        self.engine.metrics["acc_spills"] = self.engine.metrics.get("acc_spills", 0) + 1
+
+    def _finalize_partial_reduce(self, instance: FlowletInstance):
+        """At upstream completion, emit every accumulator ("the partial
+        reduce flowlet does not output until the completion of its
+        upstream flowlets", §2)."""
+        flowlet = instance.flowlet
+        assert isinstance(flowlet, PartialReduce)
+        # Merge back any spilled accumulator runs.
+        lease = ThreadLease(self.node.threads)
+        yield lease.acquire()
+        try:
+            for run in instance.acc_spill_runs:
+                pairs = yield from self.spill.read_back(run)
+                self.spill.free(run)
+                for key, acc in pairs:
+                    if key in instance.accs:
+                        instance.accs[key] = flowlet.combine(instance.accs[key], acc)
+                    else:
+                        instance.accs[key] = acc
+            acc_div = self._divisor(flowlet.aggregated_output)
+            items = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
+            nbytes = sum(pair_size(k, v) for k, v in items)
+            yield self.node.record_compute(
+                len(items) / acc_div, nbytes / acc_div, flowlet.compute_factor
+            )
+            for key, acc in items:
+                flowlet.finalize(instance.ctx, key, acc)
+            resident = sum(instance.acc_bytes.values()) / acc_div
+            if resident > 0:
+                self.node.free(resident)
+            instance.accs.clear()
+            instance.acc_bytes.clear()
+            yield from self._drain_ctx(instance, lease)
+        finally:
+            lease.release()
+
+    # -- reduce ---------------------------------------------------------------------------
+
+    def _reduce_dispatcher(self, instance: FlowletInstance):
+        # Collection is concurrent: each arriving bin enables one fine-grain
+        # collect task on a free thread (the node's tasks share the grouped
+        # store, "one JVM per node ... all tasks can share memory", §5.2).
+        tasks = []
+        while True:
+            try:
+                bin_ = yield instance.inbox.get()
+            except QueueClosed:
+                break
+            lease = ThreadLease(self.node.threads)
+            yield lease.acquire()
+            task = self.sim.spawn(
+                self._collect_task(instance, bin_, lease),
+                name=f"{instance.flowlet.name}@n{self.node.node_id}.collect",
+            )
+            tasks.append(task)
+        for task in tasks:
+            yield task
+        # Barrier satisfied: all upstream complete, inbox drained.
+        instance.status = FlowletStatus.READY
+        yield from self._execute_reduce(instance)
+        yield from self._complete_instance(instance)
+
+    def _collect_task(self, instance: FlowletInstance, bin_: Bin, lease: ThreadLease):
+        try:
+            yield from self._collect_bin(instance, bin_)
+        finally:
+            lease.release()
+
+    def _collect_bin(self, instance: FlowletInstance, bin_: Bin):
+        """Group one bin's pairs by key in memory, spilling when over budget."""
+        instance.bins_in += 1
+        instance.pairs_in += bin_.nrecords
+        instance.tasks_run += 1
+        if instance.input_aggregated is None:
+            instance.input_aggregated = bin_.aggregated
+        else:
+            instance.input_aggregated = instance.input_aggregated and bin_.aggregated
+        div = self._divisor(bin_.aggregated)
+        adj_bytes = bin_.nbytes / div
+        yield self.node.compute(self.cost.bin_overhead)
+        yield self.node.record_compute(
+            bin_.nrecords / div, adj_bytes, self.cost.reduce_collect_factor
+        )
+        if not self.node.alloc(adj_bytes):
+            yield from self._spill_groups(instance)
+            if not self.node.alloc(adj_bytes):
+                # Even an empty store cannot hold this bin (scaled size over
+                # budget): stream it straight to disk as its own run.
+                pairs = sorted(bin_.pairs, key=lambda kv: repr(kv[0]))
+                run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+                instance.spill_runs.append(run)
+                self.engine.metrics["reduce_spills"] = (
+                    self.engine.metrics.get("reduce_spills", 0) + 1
+                )
+                return
+        instance.group_bytes += adj_bytes
+        for key, value in bin_:
+            instance.groups.setdefault(key, []).append(value)
+
+    def _spill_groups(self, instance: FlowletInstance):
+        # Snapshot and clear synchronously (no yields) so concurrent
+        # collect tasks never double-spill or double-free.
+        pairs = []
+        for key in sorted(instance.groups, key=repr):
+            for value in instance.groups[key]:
+                pairs.append((key, value))
+        if not pairs:
+            return
+        freed = instance.group_bytes
+        instance.group_bytes = 0
+        instance.groups = {}
+        self.node.free(freed)
+        run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+        instance.spill_runs.append(run)
+        self.engine.metrics["reduce_spills"] = self.engine.metrics.get("reduce_spills", 0) + 1
+
+    def _execute_reduce(self, instance: FlowletInstance):
+        flowlet = instance.flowlet
+        assert isinstance(flowlet, Reduce)
+        # External merge: stream spilled runs back into the grouped store.
+        for run in instance.spill_runs:
+            pairs = yield from self.spill.read_back(run)
+            self.spill.free(run)
+            for key, value in pairs:
+                instance.groups.setdefault(key, []).append(value)
+        instance.spill_runs = []
+        # Fine-grain execution: chunk the key space into tasks.
+        keys = sorted(instance.groups, key=repr)
+        chunk_limit = self.engine.config.reduce_task_bytes
+        chunks: list[list[Any]] = []
+        chunk: list[Any] = []
+        size = 0
+        for key in keys:
+            values = instance.groups[key]
+            kv_bytes = sum(pair_size(key, v) for v in values)
+            chunk.append(key)
+            size += kv_bytes
+            if size >= chunk_limit:
+                chunks.append(chunk)
+                chunk, size = [], 0
+        if chunk:
+            chunks.append(chunk)
+        tasks = []
+        for chunk in chunks:
+            lease = ThreadLease(self.node.threads)
+            yield lease.acquire()
+            task = self.sim.spawn(
+                self._reduce_task(instance, chunk, lease),
+                name=f"{flowlet.name}@n{self.node.node_id}.reduce",
+            )
+            tasks.append(task)
+        for task in tasks:
+            yield task
+        # Release the grouped store.
+        if instance.group_bytes > 0:
+            self.node.free(instance.group_bytes)
+            instance.group_bytes = 0
+        instance.groups = {}
+
+    def _reduce_task(self, instance: FlowletInstance, keys: list, lease: ThreadLease):
+        flowlet = instance.flowlet
+        assert isinstance(flowlet, Reduce)
+        instance.tasks_run += 1
+        try:
+            div = self._divisor(bool(instance.input_aggregated))
+            nrecords = sum(len(instance.groups[k]) for k in keys)
+            nbytes = sum(
+                pair_size(k, v) for k in keys for v in instance.groups[k]
+            )
+            yield self.node.record_compute(
+                nrecords / div, nbytes / div, flowlet.compute_factor
+            )
+            for key in keys:
+                flowlet.reduce(instance.ctx, key, instance.groups[key])
+            yield from self._drain_ctx(instance, lease)
+        finally:
+            lease.release()
+
+    # -- shipping & context draining --------------------------------------------------------
+
+    def _drain_ctx(self, instance: FlowletInstance, lease: Optional[ThreadLease] = None):
+        """Pay deferred charges and ship sealed bins out of the context."""
+        ctx = instance.ctx
+        disk_bytes = ctx.take_deferred_disk()
+        if disk_bytes:
+            yield self.node.disk_write(disk_bytes)
+        updates = ctx.take_deferred_updates()
+        if updates:
+            yield instance.cell_for("__shared__").update(updates)
+        for bin_ in ctx.take_sealed():
+            yield from self._ship(instance, bin_, lease)
+        yield from self._flush_sink_output(instance)
+
+    def _flush_sink_output(self, instance: FlowletInstance):
+        ctx = instance.ctx
+        if not ctx.output_pairs:
+            return
+        pairs, ctx.output_pairs = ctx.output_pairs, []
+        div = self._divisor(instance.flowlet.aggregated_output)
+        nbytes = sum(pair_size(k, v) for k, v in pairs) / div
+        if self.engine.config.charge_sink_disk:
+            yield self.node.compute(self.cost.serde_cost(nbytes))
+            yield self.node.disk_write(nbytes)
+        self.engine.collect_output(instance.flowlet.name, pairs)
+
+    def _ship(self, instance: FlowletInstance, bin_: Bin, lease: Optional[ThreadLease]):
+        """Send one sealed bin to its destination inbox(es), with flow control."""
+        edge = self.graph.edges[bin_.edge_id]
+        if edge.combiner is not None and self.engine.config.use_combiners:
+            combined = edge.combiner.apply(bin_.pairs)
+            in_div = self._divisor(bin_.aggregated)
+            yield self.node.record_compute(
+                bin_.nrecords / in_div, bin_.nbytes / in_div, 0.5
+            )
+            new_bin = Bin(
+                bin_.edge_id,
+                bin_.partition,
+                aggregated=bin_.aggregated,  # combining does not change scaling
+                represents=bin_.effective_records,
+            )
+            for key, value in combined:
+                new_bin.append(key, value)
+            bin_ = new_bin
+        if edge.mode is EdgeMode.BROADCAST or bin_.partition == BROADCAST_PARTITION:
+            targets = list(range(self.engine.num_workers))
+        elif edge.mode is EdgeMode.LOCAL:
+            targets = [self.worker_index]
+        else:
+            owner = self.engine.cluster.owner_of_partition(
+                bin_.partition, edge.partitioner.num_partitions
+            )
+            targets = [self.engine.worker_index_of(owner)]
+        # Serialization cost once (broadcast reuses the wire image).
+        ship_div = self._divisor(bin_.aggregated)
+        yield self.node.compute(self.cost.serde_cost(bin_.nbytes / ship_div))
+        if self.engine.config.stage_edges_on_disk:
+            yield self.node.disk_write(bin_.nbytes / ship_div)
+        for target in targets:
+            dst_runtime = self.engine.runtimes[target]
+            dst_instance = dst_runtime.instance(edge.dst.name)
+            if self.engine.config.stage_edges_on_disk:
+                yield self.node.disk_read(bin_.nbytes / ship_div)
+            yield self.engine.cluster.network.send(
+                self.node, dst_runtime.node, bin_.nbytes / ship_div
+            )
+            self.engine.metrics["bins_shipped"] = self.engine.metrics.get("bins_shipped", 0) + 1
+            if not dst_instance.inbox.try_put(bin_, weight=bin_.nbytes):
+                # Flow control: stop immediately, free the thread, resume later.
+                instance.stalls += 1
+                self.stalls_total += 1
+                self.engine.metrics["flow_stalls"] = (
+                    self.engine.metrics.get("flow_stalls", 0) + 1
+                )
+                self.node.record_trace(
+                    "flow_stall", flowlet=instance.flowlet.name, dst=edge.dst.name
+                )
+                if lease is not None and lease.held:
+                    lease.release()
+                    yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
+                    yield from self._maybe_throttle_loader(instance)
+                    yield lease.acquire()
+                else:
+                    yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
+                    yield from self._maybe_throttle_loader(instance)
+            else:
+                instance.stall_streak = 0
+
+    def _maybe_throttle_loader(self, instance: FlowletInstance):
+        """Adaptive flow control (§2): once a loader's ships have stalled
+        ``throttle_stall_threshold`` times in a row, slow the intake by
+        backing off before resuming (thread already released by caller)."""
+        config = self.engine.config
+        if not config.adaptive_loader_throttle:
+            return
+        if instance.flowlet.kind is not FlowletKind.LOADER:
+            return
+        instance.stall_streak += 1
+        if instance.stall_streak < config.throttle_stall_threshold:
+            return
+        instance.stall_streak = 0
+        self.node.record_trace("loader_throttle", flowlet=instance.flowlet.name)
+        self.engine.metrics["loader_throttles"] = (
+            self.engine.metrics.get("loader_throttles", 0) + 1
+        )
+        yield self.sim.timeout(config.throttle_backoff)
+
+    # -- completion ---------------------------------------------------------------------------
+
+    def _complete_instance(self, instance: FlowletInstance):
+        """Flush open bins, notify downstream on every node, finish."""
+        for bin_ in instance.packer.drain():
+            yield from self._ship(instance, bin_, None)
+        yield from self._drain_ctx(instance)
+        instance.flowlet.teardown(instance.ctx)
+        self.engine.collect_counters(instance.ctx)
+        instance.status = FlowletStatus.COMPLETE
+        out_edges = self.graph.out_edges(instance.flowlet)
+        notifications = []
+        for edge in out_edges:
+            for target in range(self.engine.num_workers):
+                dst_runtime = self.engine.runtimes[target]
+                notifications.append(
+                    self.engine.cluster.network.send(
+                        self.node, dst_runtime.node, _COMPLETION_MSG_BYTES
+                    )
+                )
+        if notifications:
+            yield self.sim.all_of(notifications)
+        for edge in out_edges:
+            for target in range(self.engine.num_workers):
+                self.engine.runtimes[target].instance(edge.dst.name).note_completion(
+                    edge.edge_id, self.worker_index
+                )
+        instance.completion_event.trigger(instance.flowlet.name)

@@ -1,0 +1,60 @@
+"""Windowing helpers for streaming flowlet jobs.
+
+The engine itself is window-agnostic (a flowlet sees keyed pairs); these
+helpers implement the standard recipe for event-time tumbling windows on
+top of it: key every record by ``(window_id, original_key)`` at the
+loader/map stage, aggregate with a PartialReduce as usual, and read
+per-window results out of the job output.
+
+Example::
+
+    win = TumblingWindows(width=60.0)
+    # inside a loader/map:  ctx.emit(win.key(event_time, user), 1)
+    # output keys are (window_id, user); win.start(window_id) gives the
+    # window's start time back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TumblingWindows:
+    """Fixed-width, non-overlapping event-time windows.
+
+    ``width`` is in the same unit as the event timestamps (virtual
+    seconds for :class:`~repro.core.streaming.StreamSource` batches).
+    """
+
+    width: float
+    origin: float = 0.0
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ConfigError("window width must be positive")
+
+    def window_of(self, timestamp: float) -> int:
+        """The window index containing ``timestamp``."""
+        return int((timestamp - self.origin) // self.width)
+
+    def key(self, timestamp: float, key: Any) -> tuple[int, Any]:
+        """A composite flowlet key placing ``key`` in its time window."""
+        return (self.window_of(timestamp), key)
+
+    def start(self, window_id: int) -> float:
+        return self.origin + window_id * self.width
+
+    def end(self, window_id: int) -> float:
+        return self.start(window_id) + self.width
+
+    def group_output(self, pairs) -> dict[int, dict[Any, Any]]:
+        """Regroup job output keyed ``((window, key), value)`` into
+        ``{window: {key: value}}`` for reporting."""
+        out: dict[int, dict[Any, Any]] = {}
+        for (window_id, key), value in pairs:
+            out.setdefault(window_id, {})[key] = value
+        return out

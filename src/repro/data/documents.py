@@ -1,0 +1,58 @@
+"""Labeled documents for NaiveBayes training.
+
+"The input data are generated documents whose words follow the Zipfian
+distribution" (HiBench's Mahout NaiveBayes input). Each document carries a
+class label; per-class word distributions are shifted permutations of a
+global Zipf law so classes are genuinely distinguishable.
+
+Line format: ``label<TAB>word word word ...`` — records are
+``(offset, line)`` like every other text input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.data.text import make_vocabulary
+from repro.data.zipf import ZipfSampler
+
+
+def document_corpus(
+    n_documents: int,
+    seed: int = 0,
+    n_labels: int = 4,
+    vocabulary_size: int = 5_000,
+    words_per_document: int = 50,
+    zipf_exponent: float = 1.1,
+) -> list[tuple[int, str]]:
+    """Generate ``(offset, label\\tword...)`` records."""
+    if n_documents <= 0:
+        raise ValueError("n_documents must be positive")
+    if n_labels <= 0:
+        raise ValueError("n_labels must be positive")
+    rng = make_rng(seed, "documents")
+    vocab = np.array(make_vocabulary(vocabulary_size), dtype=object)
+    sampler = ZipfSampler(vocabulary_size, zipf_exponent, rng)
+    # Each label shifts the rank->word mapping, giving it its own "topic".
+    label_permutations = [
+        np.roll(np.arange(vocabulary_size), (vocabulary_size // n_labels) * label)
+        for label in range(n_labels)
+    ]
+    labels = rng.integers(0, n_labels, size=n_documents)
+    records: list[tuple[int, str]] = []
+    offset = 0
+    for doc_id in range(n_documents):
+        label = int(labels[doc_id])
+        ranks = sampler.sample(words_per_document)
+        words = vocab[label_permutations[label][ranks]]
+        line = f"label{label}\t" + " ".join(words)
+        records.append((offset, line))
+        offset += len(line) + 1
+    return records
+
+
+def parse_document_line(line: str) -> tuple[str, list[str]]:
+    """Returns ``(label, words)``."""
+    label, _, text = line.partition("\t")
+    return label, text.split()

@@ -1,0 +1,103 @@
+"""PUMA-style movie rating data.
+
+One movie per line: ``movie_id:user_id_rating,user_id_rating,...`` — the
+format used by the PUMA K-Means / Classification / Histogram benchmarks.
+Ratings are integers 1..5 with a configurable (skewed) distribution — the
+five-rating key space is exactly what drives the paper's HistogramRatings
+pathology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+#: empirical-ish rating popularity: 4s and 3s dominate, 1s are rare
+DEFAULT_RATING_WEIGHTS = (0.08, 0.12, 0.25, 0.35, 0.20)
+
+
+@dataclass(frozen=True)
+class MovieRecord:
+    """A parsed movie line."""
+
+    movie_id: int
+    user_ids: tuple
+    ratings: tuple
+
+    @property
+    def average_rating(self) -> float:
+        return sum(self.ratings) / len(self.ratings) if self.ratings else 0.0
+
+    def vector(self) -> dict[int, float]:
+        """Sparse user→rating vector for similarity computations."""
+        return dict(zip(self.user_ids, (float(r) for r in self.ratings)))
+
+
+def format_movie_line(movie_id: int, user_ids, ratings) -> str:
+    pairs = ",".join(f"{u}_{r}" for u, r in zip(user_ids, ratings))
+    return f"{movie_id}:{pairs}"
+
+
+def parse_movie_line(line: str) -> MovieRecord:
+    movie_part, _, ratings_part = line.partition(":")
+    movie_id = int(movie_part)
+    user_ids = []
+    ratings = []
+    if ratings_part:
+        for chunk in ratings_part.split(","):
+            user, _, rating = chunk.partition("_")
+            user_ids.append(int(user))
+            ratings.append(int(rating))
+    return MovieRecord(movie_id, tuple(user_ids), tuple(ratings))
+
+
+def movie_corpus(
+    n_movies: int,
+    seed: int = 0,
+    n_users: int = 1_000,
+    min_ratings: int = 5,
+    max_ratings: int = 30,
+    rating_weights=DEFAULT_RATING_WEIGHTS,
+) -> list[tuple[int, str]]:
+    """Generate ``(offset, line)`` movie records.
+
+    Users per movie are drawn uniformly without replacement; rating values
+    follow ``rating_weights`` over 1..5.
+    """
+    if n_movies <= 0:
+        raise ValueError("n_movies must be positive")
+    if not 0 < min_ratings <= max_ratings <= n_users:
+        raise ValueError("need 0 < min_ratings <= max_ratings <= n_users")
+    weights = np.asarray(rating_weights, dtype=np.float64)
+    if weights.shape != (5,) or not np.isclose(weights.sum(), 1.0):
+        raise ValueError("rating_weights must be 5 probabilities summing to 1")
+    rng = make_rng(seed, "movies")
+    records: list[tuple[int, str]] = []
+    offset = 0
+    counts = rng.integers(min_ratings, max_ratings + 1, size=n_movies)
+    for movie_id in range(n_movies):
+        k = int(counts[movie_id])
+        users = rng.choice(n_users, size=k, replace=False)
+        users.sort()
+        ratings = rng.choice(5, size=k, p=weights) + 1
+        line = format_movie_line(movie_id, users.tolist(), ratings.tolist())
+        records.append((offset, line))
+        offset += len(line) + 1
+    return records
+
+
+def cosine_similarity(a: dict[int, float], b: dict[int, float]) -> float:
+    """Cosine similarity of two sparse vectors (0 when either is empty)."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(v * b[k] for k, v in a.items() if k in b)
+    if dot == 0.0:
+        return 0.0
+    norm_a = sum(v * v for v in a.values()) ** 0.5
+    norm_b = sum(v * v for v in b.values()) ** 0.5
+    return dot / (norm_a * norm_b)

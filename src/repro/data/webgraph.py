@@ -1,0 +1,55 @@
+"""HiBench-style web graph generation for PageRank.
+
+"The input data are automatically generated Web data whose hyperlinks
+follow the Zipfian distribution." Each page gets a random out-degree; link
+*targets* are drawn Zipf-distributed, so popular pages accumulate
+Zipfian in-degree, like the HiBench generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.data.zipf import ZipfSampler
+
+
+def webgraph_edges(
+    n_pages: int,
+    n_edges: int,
+    seed: int = 0,
+    zipf_exponent: float = 0.8,
+) -> list[tuple[int, int]]:
+    """Generate ``(src_page, dst_page)`` edges; self-links removed, targets
+    Zipf-skewed so in-degrees follow a power law. Every page appears as a
+    source at least once (so out-degrees are never zero, which keeps the
+    PageRank contribution step well-defined)."""
+    if n_pages <= 1:
+        raise ValueError("need at least 2 pages")
+    if n_edges < n_pages:
+        raise ValueError("need at least one edge per page")
+    rng = make_rng(seed, "webgraph")
+    sampler = ZipfSampler(n_pages, zipf_exponent, rng)
+    # First n_pages edges guarantee every page has out-degree >= 1.
+    sources = np.concatenate(
+        [
+            np.arange(n_pages, dtype=np.int64),
+            rng.integers(0, n_pages, size=n_edges - n_pages),
+        ]
+    )
+    targets = sampler.sample(n_edges)
+    # Remap Zipf rank -> page id with a fixed permutation so the popular
+    # pages are spread over the id space (as HiBench's hash does).
+    permutation = rng.permutation(n_pages)
+    targets = permutation[targets]
+    # Remove self-links by bumping the target.
+    collisions = sources == targets
+    targets[collisions] = (targets[collisions] + 1) % n_pages
+    return list(zip(sources.tolist(), targets.tolist()))
+
+
+def out_degrees(edges: list[tuple[int, int]]) -> dict[int, int]:
+    degrees: dict[int, int] = {}
+    for src, _dst in edges:
+        degrees[src] = degrees.get(src, 0) + 1
+    return degrees

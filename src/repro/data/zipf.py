@@ -1,0 +1,44 @@
+"""Zipfian sampling.
+
+Several of the paper's inputs follow Zipf distributions (web hyperlinks,
+document words). :class:`ZipfSampler` draws from a finite Zipf law with a
+precomputed CDF, vectorized through numpy for large draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf probabilities for ranks 1..n (rank 1 most likely)."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Draws item indices in ``[0, n_items)`` with Zipfian frequencies."""
+
+    def __init__(self, n_items: int, exponent: float, rng: np.random.Generator):
+        self.n_items = n_items
+        self.exponent = exponent
+        self._rng = rng
+        self._cdf = np.cumsum(zipf_weights(n_items, exponent))
+        # Guard against float round-off at the top of the CDF.
+        self._cdf[-1] = 1.0
+
+    def sample(self, size: int) -> np.ndarray:
+        """``size`` indices, most-frequent item = index 0."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        u = self._rng.random(size)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+    def expected_top_share(self) -> float:
+        """Probability mass of the most frequent item (skew probe)."""
+        return float(zipf_weights(self.n_items, self.exponent)[0])

@@ -1,0 +1,32 @@
+"""Evaluation harness: regenerates every table and figure of §5.
+
+* :mod:`paper` — the published numbers (Tables 1-3, Fig. 3);
+* :mod:`workloads` — paper-scale workload presets via the scale model;
+* :mod:`runner` — runs one benchmark on both engines in fresh
+  environments and assembles comparison rows;
+* :mod:`tables` / :mod:`figures` — Table 1/2/3 and Figure 3(a)/(b);
+* :mod:`report` — ASCII rendering with paper-vs-measured columns;
+* :mod:`ablations` — the A1-A7 design-choice studies of DESIGN.md §5.
+"""
+
+from repro.evaluation.paper import PAPER_TABLE2, PAPER_TABLE3, PaperRow
+from repro.evaluation.workloads import Workload, table2_workloads, workload_by_name
+from repro.evaluation.runner import BenchmarkRow, run_workload
+from repro.evaluation.tables import table1, table2, table3
+from repro.evaluation.figures import figure3a, figure3b
+
+__all__ = [
+    "PaperRow",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "Workload",
+    "table2_workloads",
+    "workload_by_name",
+    "BenchmarkRow",
+    "run_workload",
+    "table1",
+    "table2",
+    "table3",
+    "figure3a",
+    "figure3b",
+]

@@ -1,0 +1,90 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.evaluation table1
+    python -m repro.evaluation table2 [--fidelity small]
+    python -m repro.evaluation table3 [--fidelity small]
+    python -m repro.evaluation fig3a  [--fidelity small]
+    python -m repro.evaluation fig3b  [--fidelity small]
+    python -m repro.evaluation all    [--fidelity small]
+    python -m repro.evaluation bench NAME [--fidelity small]   # one Table 2 row
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.figures import figure3a, figure3b
+from repro.evaluation.runner import run_workload
+from repro.evaluation.tables import table1, table2, table3
+from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the HAMR paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "fig3a", "fig3b", "all", "bench"],
+    )
+    parser.add_argument("name", nargs="?", help="benchmark name for `bench`")
+    parser.add_argument(
+        "--fidelity",
+        default="small",
+        choices=["tiny", "small", "medium"],
+        help="real-data budget (small = reference; see DESIGN.md §7)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifact == "table1":
+        print(table1())
+        return 0
+    if args.artifact == "bench":
+        if not args.name:
+            parser.error("bench requires a benchmark name " f"(one of {TABLE2_ORDER})")
+        row = run_workload(workload_by_name(args.name, args.fidelity))
+        print(
+            f"{row.label} ({row.data_size}): IDH {row.idh_seconds:.3f}s, "
+            f"HAMR {row.hamr_seconds:.3f}s, speedup {row.speedup:.2f}x "
+            f"(paper {row.paper.speedup:.2f}x)"
+        )
+        return 0
+
+    def progress(name: str) -> None:
+        print(f"  running {name} ...", file=sys.stderr, flush=True)
+
+    if args.artifact in ("table2", "all"):
+        result = table2(args.fidelity, progress=progress)
+        print(result.rendered)
+        print()
+        if args.artifact == "table2":
+            return 0
+    else:
+        result = None
+
+    if args.artifact in ("table3", "all"):
+        rows = result.rows if result is not None else None
+        print(table3(args.fidelity, baseline_rows=rows).rendered)
+        print()
+        if args.artifact == "table3":
+            return 0
+
+    if args.artifact in ("fig3a", "all"):
+        rows = result.rows if result is not None else None
+        print(figure3a(args.fidelity, rows=rows).rendered)
+        print()
+        if args.artifact == "fig3a":
+            return 0
+
+    if args.artifact in ("fig3b", "all"):
+        rows = result.rows if result is not None else None
+        print(figure3b(args.fidelity, rows=rows).rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

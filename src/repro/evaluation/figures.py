@@ -1,0 +1,57 @@
+"""Regeneration of Figure 3.
+
+Figure 3 plots the Table 2 speedups as two bar groups: (a) the four
+benchmarks that exploit HAMR's features (K-Means, Classification,
+PageRank, KCliques — all >= 6x in the paper), and (b) the four simple
+IO-intensive benchmarks where Hadoop's batch pipeline holds its own
+(WordCount, HistogramMovies, HistogramRatings, NaiveBayes — including the
+inversion where Hadoop beats HAMR on HistogramRatings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.paper import FIG3A_BENCHMARKS, FIG3B_BENCHMARKS, PAPER_TABLE2
+from repro.evaluation.report import render_bars
+from repro.evaluation.runner import BenchmarkRow, run_workload
+from repro.evaluation.workloads import workload_by_name
+
+
+@dataclass
+class FigureResult:
+    #: (label, measured speedup) in plot order
+    series: list[tuple[str, float]]
+    #: (label, paper speedup) for comparison
+    paper_series: list[tuple[str, float]]
+    rendered: str = ""
+
+
+def _figure(names: list[str], fidelity: str, title: str, rows: list[BenchmarkRow] | None) -> FigureResult:
+    series = []
+    for name in names:
+        if rows is not None:
+            row = next(r for r in rows if r.name == name)
+        else:
+            row = run_workload(workload_by_name(name, fidelity))
+        series.append((row.label, row.speedup))
+    paper_series = [(PAPER_TABLE2[n].benchmark, PAPER_TABLE2[n].speedup) for n in names]
+    rendered = (
+        render_bars(series, title=f"{title} (measured; '|' = baseline 1.0)")
+        + "\n\n"
+        + render_bars(paper_series, title=f"{title} (paper)")
+    )
+    return FigureResult(series, paper_series, rendered)
+
+
+def figure3a(fidelity: str = "small", rows: list[BenchmarkRow] | None = None) -> FigureResult:
+    """Fig. 3(a): speedup of the four feature-exploiting benchmarks.
+
+    Pass Table 2's rows to reuse its measurements instead of re-running.
+    """
+    return _figure(FIG3A_BENCHMARKS, fidelity, "Figure 3(a): dataflow-friendly benchmarks", rows)
+
+
+def figure3b(fidelity: str = "small", rows: list[BenchmarkRow] | None = None) -> FigureResult:
+    """Fig. 3(b): speedup of the four IO-intensive benchmarks."""
+    return _figure(FIG3B_BENCHMARKS, fidelity, "Figure 3(b): IO-intensive benchmarks", rows)

@@ -1,0 +1,61 @@
+"""The paper's published numbers, verbatim.
+
+Table 2: "Performance comparison between IDH 3.0 and HAMR. The unit of
+execution time is second." Table 3: "Performance of HAMR using Combiner."
+Figure 3 plots the Table 2 speedups as two bar groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    benchmark: str
+    data_size: str
+    idh_seconds: float
+    hamr_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.idh_seconds / self.hamr_seconds
+
+
+#: Table 2, row for row.
+PAPER_TABLE2: dict[str, PaperRow] = {
+    "kmeans": PaperRow("K-Means", "300GB", 5215.079, 505.685),
+    "classification": PaperRow("Classification", "300GB", 2773.660, 212.815),
+    "pagerank": PaperRow("PageRank", "20GB", 2162.102, 158.853),
+    "kcliques": PaperRow("KCliques", "168MB", 1161.246, 100.945),
+    "wordcount": PaperRow("WordCount", "16GB", 89.904, 75.078),
+    "histogram_movies": PaperRow("HistogramMovies", "30GB", 59.522, 34.542),
+    "histogram_ratings": PaperRow("HistogramRatings", "30GB", 66.694, 252.198),
+    "naive_bayes": PaperRow("NaiveBayes", "10GB", 263.078, 108.29),
+}
+
+#: Table 3: HAMR with combiner; speedups are still vs the Table 2 IDH column.
+PAPER_TABLE3: dict[str, PaperRow] = {
+    "histogram_movies": PaperRow("HistogramMovies", "30GB", 59.522, 33.234),
+    "histogram_ratings": PaperRow("HistogramRatings", "30GB", 66.694, 215.911),
+}
+
+#: Figure 3(a): the feature-friendly benchmarks (speedup >= 6x claimed).
+FIG3A_BENCHMARKS = ["kmeans", "classification", "pagerank", "kcliques"]
+
+#: Figure 3(b): the IO-intensive benchmarks Hadoop is good at.
+FIG3B_BENCHMARKS = ["wordcount", "histogram_movies", "histogram_ratings", "naive_bayes"]
+
+#: Shape bands: (lo, hi) acceptable measured speedup per benchmark, wide
+#: enough to absorb the simulator-vs-testbed gap while still asserting the
+#: paper's qualitative claims (who wins, and roughly by how much).
+SHAPE_BANDS: dict[str, tuple[float, float]] = {
+    "kmeans": (6.0, 25.0),
+    "classification": (6.0, 30.0),
+    "pagerank": (6.0, 30.0),
+    "kcliques": (6.0, 30.0),
+    "wordcount": (1.0, 2.5),
+    "histogram_movies": (1.2, 3.5),
+    "histogram_ratings": (0.05, 0.7),  # Hadoop must win here
+    "naive_bayes": (1.5, 6.0),
+}

@@ -1,0 +1,65 @@
+"""ASCII rendering of evaluation tables and bar charts."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """A plain fixed-width table (right-aligns numbers, left-aligns text)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    numeric = [
+        all(_is_number(row[i]) for row in rows) if rows else False
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: Sequence[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    baseline: Optional[float] = 1.0,
+) -> str:
+    """Horizontal bar chart of (label, value); a '|' marks the baseline."""
+    if not series:
+        return title
+    peak = max(max(v for _l, v in series), baseline or 0.0)
+    label_width = max(len(label) for label, _v in series)
+    lines = [title] if title else []
+    for label, value in series:
+        bar_len = max(0, round(value / peak * width))
+        bar = "#" * bar_len
+        if baseline is not None and 0 < baseline <= peak:
+            marker = round(baseline / peak * width)
+            if marker >= len(bar):
+                bar = bar.ljust(marker) + "|"
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _is_number(cell: object) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)

@@ -1,0 +1,63 @@
+"""Dual-engine benchmark execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import AppResult
+from repro.evaluation.paper import PAPER_TABLE2, PaperRow, SHAPE_BANDS
+from repro.evaluation.workloads import Workload
+
+
+@dataclass
+class BenchmarkRow:
+    """One comparison row: measured IDH-style vs HAMR plus paper context."""
+
+    name: str
+    label: str
+    data_size: str
+    idh_seconds: float
+    hamr_seconds: float
+    paper: Optional[PaperRow] = None
+    hamr_result: Optional[AppResult] = field(default=None, repr=False)
+    hadoop_result: Optional[AppResult] = field(default=None, repr=False)
+
+    @property
+    def speedup(self) -> float:
+        return self.idh_seconds / self.hamr_seconds
+
+    @property
+    def paper_speedup(self) -> Optional[float]:
+        return self.paper.speedup if self.paper else None
+
+    @property
+    def in_shape_band(self) -> Optional[bool]:
+        band = SHAPE_BANDS.get(self.name)
+        if band is None:
+            return None
+        lo, hi = band
+        return lo <= self.speedup <= hi
+
+
+def run_workload(workload: Workload, engines: str = "both") -> BenchmarkRow:
+    """Run a workload on fresh environments and assemble its row.
+
+    ``engines`` may be ``"both"``, ``"hamr"`` or ``"hadoop"`` (missing
+    engine columns are reported as 0).
+    """
+    hamr_result = hadoop_result = None
+    if engines in ("both", "hamr"):
+        hamr_result = workload.run_hamr(workload.fresh_env(), workload.params, workload.records)
+    if engines in ("both", "hadoop"):
+        hadoop_result = workload.run_hadoop(workload.fresh_env(), workload.params, workload.records)
+    return BenchmarkRow(
+        name=workload.name,
+        label=workload.label,
+        data_size=workload.data_size,
+        idh_seconds=hadoop_result.makespan if hadoop_result else 0.0,
+        hamr_seconds=hamr_result.makespan if hamr_result else 0.0,
+        paper=PAPER_TABLE2.get(workload.name),
+        hamr_result=hamr_result,
+        hadoop_result=hadoop_result,
+    )

@@ -1,0 +1,33 @@
+"""The Hadoop-style MapReduce baseline (models IDH 3.0 / MRv2).
+
+This is the comparator the paper measures against: disk-staged, barrier
+synchronized, job-at-a-time MapReduce on the same simulated cluster and
+cost model as the HAMR engine. Faithfully modeled behaviours:
+
+* per-job startup and per-task (JVM) startup costs;
+* data-local map task placement over DFS blocks;
+* map-side sort buffer with sorted spills, combiner, and a merge pass —
+  every map output is materialized on local disk;
+* shuffle overlapped with the map wave (reducers fetch each map task's
+  partition as it completes) but a hard barrier before reduce *compute*;
+* reduce-side memory accounting with disk spill and merge;
+* job output written to the DFS with pipeline replication;
+* multi-job chains hand data through the DFS with a barrier and a fresh
+  job startup per job (§3.2's critique).
+"""
+
+from repro.mapreduce.api import Combiner, Mapper, MRContext, MRJob, Reducer
+from repro.mapreduce.engine import HadoopConfig, HadoopEngine, MRJobResult
+from repro.mapreduce.chain import run_chain
+
+__all__ = [
+    "Mapper",
+    "Reducer",
+    "Combiner",
+    "MRJob",
+    "MRContext",
+    "HadoopEngine",
+    "HadoopConfig",
+    "MRJobResult",
+    "run_chain",
+]

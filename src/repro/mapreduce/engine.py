@@ -1,0 +1,510 @@
+"""The Hadoop-style execution engine.
+
+One :meth:`HadoopEngine.run` call executes one MapReduce job with the full
+disk-staged, barrier-synchronized lifecycle described in §3 of the paper
+(and criticized by it). All hardware and CPU costs come from the same
+:class:`~repro.cluster.spec.CostModel` as the HAMR engine.
+
+Timeline of a job::
+
+    t0 ── job startup (YARN AM spin-up) ──────────────────────────┐
+    map tasks: slot wait → JVM start → local block read → map()   │
+               → sort + combine + spill(s) → merge → map output   │ overlap
+    reduce tasks: slot wait → JVM start → fetch each map task's   │
+               partition as it completes (disk read + network)    ┘
+    ── BARRIER: reduce compute starts only when ALL fetches done ──
+    merge (+ read back reducer-side spills) → reduce() → DFS write
+    t1 ── all reducers done; output file sealed ── makespan = t1 - t0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import JobError, ReproError, SimulationError
+from repro.common.partitioner import HashPartitioner
+from repro.common.sizeof import pair_size
+from repro.cluster.cluster import Cluster
+from repro.cluster.memory import MemoryAccount
+from repro.cluster.placement import assign_splits
+from repro.mapreduce.api import MRContext, MRJob
+from repro.sim import Resource
+from repro.sim.core import SimEvent
+from repro.storage.dfs import DFS
+from repro.storage.spill import SpillManager
+
+
+@dataclass
+class HadoopConfig:
+    """Baseline engine knobs."""
+
+    #: gather final output pairs into the result object
+    collect_outputs: bool = True
+    #: delete intermediate chain files after use (keeps DFS tidy in drivers)
+    cleanup_intermediates: bool = False
+    #: fault tolerance: per-attempt map-task failure probability (seeded,
+    #: deterministic) and Hadoop's retry budget
+    map_failure_rate: float = 0.0
+    failure_seed: int = 0
+    max_task_attempts: int = 4
+    #: deterministically fail the first N attempts of every map task
+    #: (controlled fault-tolerance experiments)
+    map_fail_first_attempts: int = 0
+    #: straggler mitigation: once 60% of map tasks finish, launch backup
+    #: attempts (on other nodes) for tasks running longer than
+    #: ``speculation_slowdown`` x the median duration; first finisher wins
+    speculative_execution: bool = False
+    speculation_slowdown: float = 1.5
+
+
+@dataclass
+class MRJobResult:
+    job_name: str
+    start_time: float
+    end_time: float
+    output_file: str
+    outputs: list[tuple[Any, Any]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.end_time - self.start_time
+
+
+class _MapOutput:
+    """One finished map task's partitioned, sorted, disk-resident output.
+
+    ``aggregated`` marks key-space-bounded (combined) output charged
+    unscaled downstream. With speculative execution, a primary and a
+    backup attempt may both write here; whichever triggers ``done`` first
+    wins (contents are deterministic, so the loser's write is identical).
+    """
+
+    __slots__ = ("node", "partitions", "done", "aggregated", "started_at")
+
+    def __init__(self, node, num_partitions: int, done: SimEvent, aggregated: bool = False):
+        self.node = node
+        self.partitions: dict[int, tuple[list, int]] = {
+            p: ([], 0) for p in range(num_partitions)
+        }
+        self.done = done
+        self.aggregated = aggregated
+        self.started_at = None  # virtual time the first attempt began
+
+
+class HadoopEngine:
+    """Executes MapReduce jobs against a DFS on the simulated cluster."""
+
+    def __init__(self, cluster: Cluster, dfs: DFS, config: Optional[HadoopConfig] = None):
+        self.cluster = cluster
+        self.dfs = dfs
+        self.cost = cluster.cost
+        self.config = config or HadoopConfig()
+        self.num_workers = cluster.num_workers
+        self._job_seq = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, job: MRJob) -> MRJobResult:
+        """Execute one job to completion (drives the shared simulator)."""
+        self._job_seq += 1
+        sim = self.cluster.sim
+        start_time = sim.now
+        state: dict[str, Any] = {"counters": {}, "metrics": {}, "outputs": []}
+        done = {}
+
+        def driver(sim_):
+            yield from self._run_job(job, state)
+            done["t"] = sim_.now
+
+        sim.spawn(driver(sim), name=f"mr-driver:{job.name}")
+        try:
+            sim.run()
+        except SimulationError as exc:
+            # surface library-level failures (task-retry exhaustion, ...)
+            # under their own type rather than the kernel's wrapper
+            if isinstance(exc.__cause__, ReproError):
+                raise exc.__cause__ from exc
+            raise
+        if "t" not in done:
+            raise JobError(f"MapReduce job {job.name!r} did not complete")
+        return MRJobResult(
+            job_name=job.name,
+            start_time=start_time,
+            end_time=done["t"],
+            output_file=job.output_file,
+            outputs=state["outputs"],
+            counters=state["counters"],
+            metrics=state["metrics"],
+        )
+
+    # -- job lifecycle ----------------------------------------------------------------
+
+    def _run_job(self, job: MRJob, state: dict):
+        sim = self.cluster.sim
+        cost = self.cost
+        yield sim.timeout(cost.hadoop_job_startup)
+
+        splits = self.dfs.splits(job.input_file)
+        num_reducers = job.num_reducers or self.num_workers
+        partitioner = HashPartitioner(num_reducers)
+        slots = [
+            Resource(sim, cost.hadoop_slots_per_node, name=f"n{w.node_id}.slots")
+            for w in self.cluster.workers
+        ]
+        state["metrics"]["map_tasks"] = len(splits)
+        state["metrics"]["reduce_tasks"] = num_reducers if job.reducer else 0
+
+        # -- map wave ---------------------------------------------------------------
+        assignment = assign_splits(self.cluster, splits)
+        map_outputs: list[_MapOutput] = []
+        map_records: list[dict] = []  # for the speculation driver
+        map_processes = []
+        for worker_index, worker_splits in enumerate(assignment):
+            node = self.cluster.worker(worker_index)
+            for split in worker_splits:
+                out = _MapOutput(
+                    node,
+                    num_reducers,
+                    SimEvent(sim, name="map.done"),
+                    aggregated=job.combiner is not None or job.aggregated_input,
+                )
+                map_outputs.append(out)
+                map_records.append(
+                    {"split": split, "out": out, "worker_index": worker_index}
+                )
+                map_processes.append(
+                    sim.spawn(
+                        self._map_task(job, split, node, slots[worker_index], partitioner, out, state),
+                        name=f"{job.name}.map{len(map_outputs) - 1}",
+                    )
+                )
+        state["backups"] = []
+        if self.config.speculative_execution and len(map_records) > 1:
+            sim.spawn(
+                self._speculation_driver(job, map_records, slots, partitioner, state),
+                name=f"{job.name}.speculator",
+            )
+
+        if job.reducer is None:
+            for process in map_processes:
+                yield process
+            for backup in state["backups"]:
+                yield backup
+            yield from self._finalize_map_only(job, map_outputs, state)
+            return
+
+        # -- reduce wave (fetch overlaps the map wave; compute barriers) ------------
+        reduce_processes = []
+        for r in range(num_reducers):
+            worker_index = r % self.num_workers
+            node = self.cluster.worker(worker_index)
+            reduce_processes.append(
+                sim.spawn(
+                    self._reduce_task(job, r, node, slots[worker_index], map_outputs, state),
+                    name=f"{job.name}.reduce{r}",
+                )
+            )
+        for process in map_processes:
+            yield process
+        part_names = []
+        for r, process in enumerate(reduce_processes):
+            part_names.append((yield process))
+        for backup in state["backups"]:
+            yield backup
+        self.dfs.concat(job.output_file, part_names)
+
+    # -- map task -------------------------------------------------------------------------
+
+    def _should_fail(self, job: MRJob, task_key: str, attempt: int) -> bool:
+        """Deterministic seeded failure injection for fault-tolerance tests."""
+        if attempt <= self.config.map_fail_first_attempts:
+            return True
+        if self.config.map_failure_rate <= 0.0:
+            return False
+        from repro.common.rng import derive_seed
+
+        seed = derive_seed(self.config.failure_seed, job.name, task_key, attempt)
+        return (seed % 10_000) / 10_000.0 < self.config.map_failure_rate
+
+    def _map_task(self, job: MRJob, split, node, slot: Resource, partitioner, out: _MapOutput, state: dict, backup: bool = False):
+        """Run one map task with Hadoop-style retry on injected failures.
+
+        A failed attempt charges everything up to the failure point (JVM
+        start, input read, map compute) before the task is rescheduled —
+        the work is genuinely lost, as on a real cluster.
+        """
+        for attempt in range(1, self.config.max_task_attempts + 1):
+            failed = (not backup) and self._should_fail(
+                job, f"map-{split.block.block_id}", attempt
+            )
+            done = yield from self._map_attempt(
+                job, split, node, slot, partitioner, out, state,
+                fail=failed, backup=backup,
+            )
+            if done:
+                return
+            state["metrics"]["map_task_failures"] = (
+                state["metrics"].get("map_task_failures", 0) + 1
+            )
+        raise JobError(
+            f"{job.name}: map task for block {split.block.block_id} failed "
+            f"{self.config.max_task_attempts} attempts"
+        )
+
+    def _speculation_driver(self, job: MRJob, map_records: list, slots, partitioner, state: dict):
+        """Hadoop-style speculation: watch the map wave, compute the median
+        duration once 60% finished, and launch one backup per straggler."""
+        sim = self.cluster.sim
+        total = len(map_records)
+        durations: dict[int, float] = {}
+        speculated: set[int] = set()
+        while True:
+            done = 0
+            for i, record in enumerate(map_records):
+                out = record["out"]
+                if out.done.triggered:
+                    done += 1
+                    if i not in durations and out.started_at is not None:
+                        durations[i] = sim.now - out.started_at
+            if done == total:
+                return
+            if done >= 0.6 * total and durations:
+                ordered = sorted(durations.values())
+                median = ordered[len(ordered) // 2]
+                threshold = self.config.speculation_slowdown * median
+                for i, record in enumerate(map_records):
+                    out = record["out"]
+                    if i in speculated or out.done.triggered or out.started_at is None:
+                        continue
+                    if sim.now - out.started_at < threshold:
+                        continue
+                    # Back the straggler up on the next worker over.
+                    speculated.add(i)
+                    backup_index = (record["worker_index"] + 1) % self.num_workers
+                    backup_node = self.cluster.worker(backup_index)
+                    state["metrics"]["speculative_launched"] = (
+                        state["metrics"].get("speculative_launched", 0) + 1
+                    )
+                    state["backups"].append(
+                        sim.spawn(
+                            self._map_task(
+                                job, record["split"], backup_node, slots[backup_index],
+                                partitioner, out, state, backup=True,
+                            ),
+                            name=f"{job.name}.backup{i}",
+                        )
+                    )
+            yield sim.timeout(1.0)
+
+    def _map_attempt(
+        self,
+        job: MRJob,
+        split,
+        node,
+        slot: Resource,
+        partitioner,
+        out: _MapOutput,
+        state: dict,
+        fail: bool = False,
+        backup: bool = False,
+    ):
+        sim = self.cluster.sim
+        cost = self.cost
+        in_div = cost.scale if job.aggregated_input else 1.0
+        out_div = cost.scale if out.aggregated else 1.0
+        yield slot.acquire()
+        try:
+            if out.done.triggered:  # the other attempt already won
+                return True
+            if out.started_at is None:
+                out.started_at = sim.now
+            yield sim.timeout(cost.hadoop_task_startup)  # container/JVM launch
+            records = yield from self.dfs.read_block(split.block, node, cost_divisor=in_div)
+            ctx = MRContext()
+            yield node.record_compute(
+                split.nrecords / in_div, split.nbytes / in_div, job.mapper.compute_factor
+            )
+            if fail:
+                # the attempt dies after burning its input read and compute
+                return False
+            for record in records:
+                key, value = record
+                job.mapper.map(ctx, key, value)
+            pairs = ctx.take()
+            self._merge_counters(state, ctx)
+
+            # Partition, sort, optionally combine — then materialize on disk.
+            by_partition: dict[int, list] = {}
+            for key, value in pairs:
+                by_partition.setdefault(partitioner.partition(key), []).append((key, value))
+            total_bytes = 0
+            total_records = 0
+            for p, plist in by_partition.items():
+                plist.sort(key=lambda kv: repr(kv[0]))
+                if job.combiner is not None:
+                    plist = job.combiner.apply(plist)
+                nbytes = sum(pair_size(k, v) for k, v in plist)
+                out.partitions[p] = (plist, nbytes)
+                total_bytes += nbytes
+                total_records += len(plist)
+            # Sort CPU over the pre-combine volume, spill count from buffer size.
+            raw_bytes = sum(pair_size(k, v) for k, v in pairs)
+            yield node.record_compute(
+                len(pairs) / in_div, raw_bytes / in_div, cost.hadoop_sort_factor
+            )
+            num_spills = max(
+                1, int(cost.scaled_bytes(raw_bytes / in_div) // cost.hadoop_sort_buffer) + 1
+            ) if raw_bytes else 1
+            yield node.compute(cost.serde_cost(total_bytes / out_div))
+            yield node.disk_write(total_bytes / out_div)
+            if num_spills > 1:
+                # Extra merge pass: read the spills back, write merged output.
+                state["metrics"]["map_spill_merges"] = (
+                    state["metrics"].get("map_spill_merges", 0) + 1
+                )
+                yield node.disk_read(total_bytes / out_div)
+                yield node.disk_write(total_bytes / out_div)
+            if out.done.triggered:
+                return True  # lost the race; the winner's output stands
+            if backup:
+                state["metrics"]["speculative_wins"] = (
+                    state["metrics"].get("speculative_wins", 0) + 1
+                )
+            out.node = node  # reducers fetch from the winning attempt's disk
+            out.done.trigger()
+            return True
+        finally:
+            slot.release()
+
+    # -- reduce task -------------------------------------------------------------------------
+
+    def _reduce_task(self, job: MRJob, r: int, node, slot: Resource, map_outputs: list, state: dict):
+        sim = self.cluster.sim
+        cost = self.cost
+        yield slot.acquire()
+        try:
+            yield sim.timeout(cost.hadoop_task_startup)
+            # Fetched data lands in this reduce task's container heap (a
+            # ~1 GB JVM, not the whole node) — overflowing it spills to
+            # local disk and pays a read-back at merge time.
+            heap = MemoryAccount(
+                cost.hadoop_reduce_memory, name=f"{job.name}.r{r}.heap"
+            )
+            spill = SpillManager(node)
+            segments: list[list] = []
+            resident_bytes = 0  # bytes in `segments` (for merge accounting)
+            accounted_bytes = 0  # bytes charged against the task heap
+            spill_runs = []
+            shuffled_bytes = 0
+            for out in map_outputs:
+                yield out.done
+                pairs, raw_nbytes = out.partitions[r]
+                if not pairs:
+                    continue
+                nbytes = raw_nbytes / (cost.scale if out.aggregated else 1.0)
+                yield out.node.disk_read(nbytes)
+                yield self.cluster.network.send(out.node, node, nbytes)
+                shuffled_bytes += nbytes
+                scaled = cost.scaled_bytes(nbytes)
+                if not heap.allocate(scaled):
+                    if segments:
+                        merged = []
+                        for seg in segments:
+                            merged.extend(seg)
+                        merged.sort(key=lambda kv: repr(kv[0]))
+                        run = yield from spill.spill(merged, sorted_by_key=True, free_memory=False)
+                        spill_runs.append(run)
+                        heap.free(accounted_bytes)
+                        segments, resident_bytes, accounted_bytes = [], 0, 0
+                        state["metrics"]["reduce_spills"] = (
+                            state["metrics"].get("reduce_spills", 0) + 1
+                        )
+                    if heap.allocate(scaled):
+                        accounted_bytes += scaled
+                    # else: a single segment over budget — held uncharged,
+                    # modeling the JVM running right at its heap ceiling
+                else:
+                    accounted_bytes += scaled
+                segments.append(pairs)
+                resident_bytes += nbytes
+            state["metrics"]["shuffled_bytes"] = (
+                state["metrics"].get("shuffled_bytes", 0) + shuffled_bytes
+            )
+
+            # BARRIER passed: merge phase. Any aggregated segment means the
+            # whole fetched volume is key-space-bounded.
+            merge_div = cost.scale if any(o.aggregated for o in map_outputs) else 1.0
+            groups: dict[Any, list] = {}
+            merge_records = 0
+            merge_bytes = 0
+            for run in spill_runs:
+                pairs = yield from spill.read_back(run)
+                spill.free(run)
+                for key, value in pairs:
+                    groups.setdefault(key, []).append(value)
+                    merge_records += 1
+                merge_bytes += run.nbytes
+            for seg in segments:
+                for key, value in seg:
+                    groups.setdefault(key, []).append(value)
+                    merge_records += 1
+            merge_bytes += resident_bytes
+            yield node.record_compute(
+                merge_records / merge_div, merge_bytes / merge_div, cost.hadoop_sort_factor
+            )
+
+            ctx = MRContext()
+            yield node.record_compute(
+                merge_records / merge_div, merge_bytes / merge_div, job.reducer.compute_factor
+            )
+            for key in sorted(groups, key=repr):
+                job.reducer.reduce(ctx, key, groups[key])
+            output_pairs = ctx.take()
+            self._merge_counters(state, ctx)
+            if accounted_bytes:
+                heap.free(accounted_bytes)
+
+            part_name = f"{job.output_file}/part-{r:05d}"
+            yield from self.dfs.write(
+                part_name, output_pairs, node,
+                cost_divisor=cost.scale if job.aggregated_output else 1.0,
+            )
+            if self.config.collect_outputs:
+                state["outputs"].extend(output_pairs)
+            return part_name
+        finally:
+            slot.release()
+
+    # -- map-only jobs ------------------------------------------------------------------------
+
+    def _finalize_map_only(self, job: MRJob, map_outputs: list, state: dict):
+        """Write each map task's raw output straight to the DFS."""
+        part_names = []
+        writers = []
+        sim = self.cluster.sim
+        for i, out in enumerate(map_outputs):
+            pairs = []
+            for p in sorted(out.partitions):
+                pairs.extend(out.partitions[p][0])
+            part_name = f"{job.output_file}/part-m-{i:05d}"
+            part_names.append(part_name)
+            if self.config.collect_outputs:
+                state["outputs"].extend(pairs)
+
+            def write_one(name=part_name, node=out.node, data=pairs):
+                yield from self.dfs.write(name, data, node)
+
+            writers.append(sim.spawn(write_one(), name=f"{job.name}.write{i}"))
+        for writer in writers:
+            yield writer
+        self.dfs.concat(job.output_file, part_names)
+
+    # -- helpers ------------------------------------------------------------------------------------
+
+    @staticmethod
+    def _merge_counters(state: dict, ctx: MRContext) -> None:
+        for name, value in ctx.counters.items():
+            state["counters"][name] = state["counters"].get(name, 0.0) + value

@@ -1,0 +1,89 @@
+"""Tracing and utilization measurement for simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: virtual time, category tag, free-form payload."""
+
+    time: float
+    category: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An append-only event trace with simple filtering.
+
+    Engines record scheduling decisions, spills, flow-control stalls, etc.;
+    tests assert on the recorded behaviour and reports summarize it.
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(self, category: str, **payload: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, payload))
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self.records if r.category == category)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class UtilizationMeter:
+    """Tracks how busy a multi-slot facility is over virtual time.
+
+    ``enter()``/``leave()`` bracket busy intervals; ``utilization`` is the
+    time-integral of busy slots divided by ``capacity * elapsed``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "meter"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._busy = 0
+        self._integral = 0.0
+        self._last = 0.0
+
+    def enter(self, n: int = 1) -> None:
+        self._advance()
+        self._busy += n
+
+    def leave(self, n: int = 1) -> None:
+        self._advance()
+        if n > self._busy:
+            raise ValueError(f"{self.name}: leave({n}) with busy={self._busy}")
+        self._busy -= n
+
+    def _advance(self) -> None:
+        self._integral += self._busy * (self.sim.now - self._last)
+        self._last = self.sim.now
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    def utilization(self, since: float = 0.0) -> float:
+        self._advance()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._integral / (self.capacity * elapsed)

@@ -1,0 +1,46 @@
+"""A SQL front-end compiling to flowlet graphs.
+
+The paper's §7: "In further, HAMR will provide higher level interactive
+interfaces like SQL." This package implements that future-work feature: a
+small but real SQL dialect — projections, expressions, WHERE, INNER
+JOIN, GROUP BY with aggregates, HAVING, ORDER BY, LIMIT — parsed into an
+AST and
+compiled onto the flowlet engine (Loader → filter/project Map →
+PartialReduce for aggregation), so queries run with all of HAMR's
+machinery: fine-grain scheduling, in-memory shuffle, partial aggregation.
+
+Example::
+
+    from repro.sql import Catalog, SQLSession
+
+    catalog = Catalog()
+    catalog.register("movies", rows)          # list[dict]
+    session = SQLSession(engine, catalog)
+    result = session.run(
+        "SELECT genre, COUNT(*) AS n, AVG(rating) AS avg_r "
+        "FROM movies WHERE year >= 2000 "
+        "GROUP BY genre HAVING n > 10 ORDER BY avg_r DESC LIMIT 5"
+    )
+    for row in result.rows: ...
+
+Supported grammar (see :mod:`repro.sql.parser`)::
+
+    SELECT expr [AS name] (, expr [AS name])*
+    FROM table [[INNER] JOIN table2 ON table.col = table2.col]
+    [WHERE expr]
+    [GROUP BY column (, column)*]
+    [HAVING expr]
+    [ORDER BY name [ASC|DESC] (, name [ASC|DESC])*]
+    [LIMIT n]
+
+Aggregates: COUNT(*), COUNT(expr), SUM, AVG, MIN, MAX.
+Operators: + - * / %, = != < <= > >=, AND OR NOT, parentheses.
+Joins compile to a co-group reduce (hash join); columns of joined rows
+are reachable qualified (``users.uid``) or, when unambiguous, bare.
+"""
+
+from repro.sql.ast import Query, SQLError
+from repro.sql.parser import parse
+from repro.sql.session import Catalog, QueryResult, SQLSession
+
+__all__ = ["parse", "Query", "SQLError", "Catalog", "SQLSession", "QueryResult"]

@@ -1,0 +1,233 @@
+"""SQL AST nodes and expression evaluation.
+
+Expressions evaluate against *row dicts* (column name → value). Aggregate
+calls never evaluate directly — the compiler rewrites them into partial-
+reduce accumulators; evaluating one raises :class:`SQLError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import ReproError
+
+
+class SQLError(ReproError):
+    """Lexing, parsing, compilation or execution error in the SQL layer."""
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+class Expr:
+    """Base expression node."""
+
+    def eval(self, row: dict) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """All column names referenced by this expression."""
+        return set()
+
+    def aggregates(self) -> list["AggregateCall"]:
+        """All aggregate calls contained in this expression."""
+        return []
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def eval(self, row: dict) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+
+    def eval(self, row: dict) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise SQLError(f"unknown column {self.name!r}") from None
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_BINARY_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "AND": lambda a, b: bool(a) and bool(b),
+    "OR": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, row: dict) -> Any:
+        try:
+            return _BINARY_OPS[self.op](self.left.eval(row), self.right.eval(row))
+        except (TypeError, ZeroDivisionError) as exc:
+            raise SQLError(f"cannot evaluate {self}: {exc}") from exc
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def aggregates(self) -> list["AggregateCall"]:
+        return self.left.aggregates() + self.right.aggregates()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def eval(self, row: dict) -> Any:
+        return not bool(self.operand.eval(row))
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def aggregates(self) -> list["AggregateCall"]:
+        return self.operand.aggregates()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr
+
+    def eval(self, row: dict) -> Any:
+        return -self.operand.eval(row)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def aggregates(self) -> list["AggregateCall"]:
+        return self.operand.aggregates()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """COUNT/SUM/AVG/MIN/MAX over an argument expression (or ``*``)."""
+
+    func: str  # upper-case
+    arg: Optional[Expr]  # None means COUNT(*)
+
+    def __post_init__(self):
+        if self.func not in AGGREGATE_FUNCS:
+            raise SQLError(f"unknown aggregate {self.func!r}")
+        if self.arg is None and self.func != "COUNT":
+            raise SQLError(f"{self.func}(*) is not valid; only COUNT(*)")
+
+    def eval(self, row: dict) -> Any:
+        # The compiler substitutes accumulator results before evaluation;
+        # a raw aggregate in a row context is a query error.
+        raise SQLError(f"aggregate {self} evaluated outside GROUP BY compilation")
+
+    def columns(self) -> set[str]:
+        return self.arg.columns() if self.arg is not None else set()
+
+    def aggregates(self) -> list["AggregateCall"]:
+        return [self]
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.arg if self.arg is not None else '*'})"
+
+
+@dataclass(frozen=True)
+class AggregateRef(Expr):
+    """A compiled reference to the i-th accumulator of a group row."""
+
+    index: int
+
+    def eval(self, row: dict) -> Any:
+        return row[f"__agg{self.index}"]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"agg[{self.index}]"
+
+
+# -- query -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    name: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """INNER JOIN of the FROM table with ``right_table`` on key equality."""
+
+    right_table: str
+    left_key: str
+    right_key: str
+
+
+@dataclass(frozen=True)
+class Query:
+    select: tuple[SelectItem, ...]
+    table: str
+    join: Optional["JoinClause"] = None
+    where: Optional[Expr] = None
+    group_by: tuple[str, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or any(
+            item.expr.aggregates() for item in self.select
+        )
+
+    def output_names(self) -> list[str]:
+        return [item.name for item in self.select]

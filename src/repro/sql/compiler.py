@@ -1,0 +1,299 @@
+"""Compile SQL queries into flowlet graphs.
+
+Two shapes:
+
+* **projection queries** (no aggregates): Loader → FilterProject Map →
+  sink. Each surviving row is projected and emitted.
+* **aggregate queries** (GROUP BY and/or aggregate calls): Loader →
+  FilterProject Map emitting ``(group_key, per-aggregate inputs)`` →
+  PartialReduce folding one accumulator tuple per group — HAMR's
+  incremental aggregation doing exactly what a SQL engine's partial
+  aggregation does. HAVING and the final SELECT expressions evaluate in
+  the finalize step with aggregate calls rewritten to accumulator
+  references.
+
+ORDER BY / LIMIT apply driver-side on the collected result (a top-level
+coordinator step, as in any distributed SQL engine).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core import FlowletGraph, Loader, Map, PartialReduce, Reduce
+from repro.core.sources import DataSource
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateRef,
+    BinOp,
+    Column,
+    Expr,
+    Literal,
+    Neg,
+    Not,
+    Query,
+    SQLError,
+)
+
+#: sink flowlet name every compiled graph ends in
+RESULT_FLOWLET = "ResultSink"
+
+
+def _rewrite(expr: Expr, mapping: dict[AggregateCall, int]) -> Expr:
+    """Replace aggregate calls with accumulator references."""
+    if isinstance(expr, AggregateCall):
+        return AggregateRef(mapping[expr])
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite(expr.left, mapping), _rewrite(expr.right, mapping))
+    if isinstance(expr, Not):
+        return Not(_rewrite(expr.operand, mapping))
+    if isinstance(expr, Neg):
+        return Neg(_rewrite(expr.operand, mapping))
+    return expr
+
+
+def _validate_aggregate_query(query: Query) -> None:
+    group_cols = set(query.group_by)
+    for item in query.select:
+        # Any column referenced outside an aggregate must be a group key.
+        agg_cols: set[str] = set()
+        for agg in item.expr.aggregates():
+            agg_cols |= agg.columns()
+        bare = item.expr.columns() - agg_cols
+        if not bare <= group_cols:
+            raise SQLError(
+                f"column(s) {sorted(bare - group_cols)} in {item.name!r} must "
+                "appear in GROUP BY or inside an aggregate"
+            )
+
+
+class _Accumulators:
+    """Element-wise fold logic for the aggregate tuple of one group."""
+
+    def __init__(self, aggs: list[AggregateCall]):
+        self.aggs = aggs
+
+    def input_values(self, row: dict) -> tuple:
+        values = []
+        for agg in self.aggs:
+            if agg.arg is None:  # COUNT(*)
+                values.append(1)
+            else:
+                values.append(agg.arg.eval(row))
+        return tuple(values)
+
+    def initial(self) -> tuple:
+        out = []
+        for agg in self.aggs:
+            if agg.func == "COUNT":
+                out.append(0)
+            elif agg.func == "SUM":
+                out.append(0)
+            elif agg.func == "AVG":
+                out.append((0, 0.0))  # (count, sum)
+            else:  # MIN / MAX
+                out.append(None)
+        return tuple(out)
+
+    def combine(self, acc: tuple, values: tuple) -> tuple:
+        out = []
+        for agg, a, v in zip(self.aggs, acc, values):
+            if agg.func == "COUNT":
+                out.append(a + (1 if agg.arg is None or v is not None else 0))
+            elif agg.func == "SUM":
+                out.append(a + (v or 0))
+            elif agg.func == "AVG":
+                count, total = a
+                if v is not None:
+                    count, total = count + 1, total + v
+                out.append((count, total))
+            elif agg.func == "MIN":
+                out.append(v if a is None or (v is not None and v < a) else a)
+            else:  # MAX
+                out.append(v if a is None or (v is not None and v > a) else a)
+        return tuple(out)
+
+    def results(self, acc: tuple) -> list[Any]:
+        out = []
+        for agg, a in zip(self.aggs, acc):
+            if agg.func == "AVG":
+                count, total = a
+                out.append(total / count if count else None)
+            else:
+                out.append(a)
+        return out
+
+
+def compile_query(
+    query: Query,
+    source: DataSource,
+    join_source: Optional[DataSource] = None,
+    left_columns: tuple = (),
+    right_columns: tuple = (),
+) -> FlowletGraph:
+    """Build the flowlet graph executing ``query`` over ``source``.
+
+    Sources must yield ``(row_id, row_dict)`` pairs. For JOIN queries pass
+    the right table's source and both column tuples (for unambiguous
+    unqualified access to joined columns). Results are the emissions of
+    the :data:`RESULT_FLOWLET` sink: ``(sort_key, row_dict)``.
+    """
+    graph = FlowletGraph(f"sql:{query.table}")
+    if query.join is not None:
+        if join_source is None:
+            raise SQLError("JOIN query compiled without the right table's source")
+        upstream = _compile_join(graph, query, source, join_source, left_columns, right_columns)
+    else:
+        upstream = graph.add(Loader("TableScan", source))
+    if query.is_aggregate:
+        return _compile_aggregate(query, graph, upstream)
+    return _compile_projection(query, graph, upstream)
+
+
+def _compile_join(
+    graph: FlowletGraph,
+    query: Query,
+    left_source: DataSource,
+    right_source: DataSource,
+    left_columns: tuple,
+    right_columns: tuple,
+):
+    """Hash join as a co-group reduce: both scans tag and shuffle rows by
+    the join key; the reduce pairs every left row with every right row of
+    the key and emits the merged row."""
+    join = query.join
+    left_name, right_name = query.table, join.right_table
+    shared = set(left_columns) & set(right_columns)
+
+    left_scan = graph.add(Loader("TableScan", left_source))
+    right_scan = graph.add(Loader("JoinScan", right_source))
+    tag_left = graph.add(
+        Map("TagLeft", fn=lambda ctx, _rid, row: ctx.emit(row[join.left_key], ("L", row)))
+    )
+    tag_right = graph.add(
+        Map("TagRight", fn=lambda ctx, _rid, row: ctx.emit(row[join.right_key], ("R", row)))
+    )
+
+    def cogroup(ctx, key, tagged: list) -> None:
+        lefts = [row for tag, row in tagged if tag == "L"]
+        rights = [row for tag, row in tagged if tag == "R"]
+        for lrow in lefts:
+            for rrow in rights:
+                merged = {}
+                for col, value in lrow.items():
+                    merged[f"{left_name}.{col}"] = value
+                    if col not in shared:
+                        merged[col] = value
+                for col, value in rrow.items():
+                    merged[f"{right_name}.{col}"] = value
+                    if col not in shared:
+                        merged[col] = value
+                ctx.emit(key, merged)
+
+    join_reduce = graph.add(Reduce("HashJoin", fn=cogroup))
+    graph.connect(left_scan, tag_left)
+    graph.connect(right_scan, tag_right)
+    graph.connect(tag_left, join_reduce)
+    graph.connect(tag_right, join_reduce)
+    return join_reduce
+
+
+def _compile_projection(query: Query, graph: FlowletGraph, upstream) -> FlowletGraph:
+    names = query.output_names()
+    where = query.where
+
+    def filter_project(ctx, row_id, row: dict) -> None:
+        if where is not None and not where.eval(row):
+            return
+        out = {name: item.expr.eval(row) for name, item in zip(names, query.select)}
+        ctx.emit(row_id, out)
+
+    sink = graph.add(Map(RESULT_FLOWLET, fn=filter_project))
+    graph.connect(upstream, sink)
+    return graph
+
+
+def _compile_aggregate(query: Query, graph: FlowletGraph, upstream) -> FlowletGraph:
+    _validate_aggregate_query(query)
+    loader = upstream
+
+    # Collect distinct aggregate calls across SELECT and HAVING.
+    aggs: list[AggregateCall] = []
+    mapping: dict[AggregateCall, int] = {}
+    for expr in [item.expr for item in query.select] + (
+        [query.having] if query.having is not None else []
+    ):
+        for agg in expr.aggregates():
+            if agg not in mapping:
+                mapping[agg] = len(aggs)
+                aggs.append(agg)
+    accumulators = _Accumulators(aggs)
+    select_rewritten = [
+        ( item.name, _rewrite(item.expr, mapping)) for item in query.select
+    ]
+    having_rewritten = (
+        _rewrite(query.having, mapping) if query.having is not None else None
+    )
+    group_cols = query.group_by
+    where = query.where
+
+    def map_to_groups(ctx, _row_id, row: dict) -> None:
+        if where is not None and not where.eval(row):
+            return
+        key = tuple(Column(col).eval(row) for col in group_cols) if group_cols else ()
+        ctx.emit(key, accumulators.input_values(row))
+
+    grouper = graph.add(Map("GroupMap", fn=map_to_groups))
+    graph.connect(loader, grouper)
+
+    def finalize(ctx, key: tuple, acc: tuple) -> None:
+        results = accumulators.results(acc)
+        row: dict[str, Any] = {col: value for col, value in zip(group_cols, key)}
+        for index, value in enumerate(results):
+            row[f"__agg{index}"] = value
+        out = {name: expr.eval(row) for name, expr in select_rewritten}
+        if having_rewritten is not None and not having_rewritten.eval({**row, **out}):
+            return
+        ctx.emit(key, out)
+
+    aggregate = graph.add(
+        PartialReduce(
+            RESULT_FLOWLET,
+            initial=lambda _key: accumulators.initial(),
+            combine=accumulators.combine,
+            finalize=finalize,
+        )
+    )
+    graph.connect(grouper, aggregate)
+    return graph
+
+
+def order_and_limit(rows: list[dict], query: Query) -> list[dict]:
+    """Driver-side ORDER BY / LIMIT over the collected result rows."""
+    out = rows
+    names = set(query.output_names())
+    for item in reversed(query.order_by):
+        if item.name not in names:
+            raise SQLError(f"ORDER BY {item.name!r} is not an output column")
+        out = sorted(
+            out,
+            key=lambda row: _sort_key(row[item.name]),
+            reverse=item.descending,
+        )
+    if query.limit is not None:
+        out = out[: query.limit]
+    return list(out)
+
+
+def _sort_key(value: Any):
+    # None sorts first; mixed types sort by type name then value repr.
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", value)
+    if isinstance(value, (int, float)) and not (
+        isinstance(value, float) and math.isnan(value)
+    ):
+        return (2, "", value)
+    return (3, type(value).__name__, repr(value))

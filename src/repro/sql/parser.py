@@ -1,0 +1,316 @@
+"""Lexer and recursive-descent parser for the SQL dialect.
+
+Grammar (keywords case-insensitive, identifiers case-sensitive)::
+
+    query     := SELECT select_list FROM ident
+                 [WHERE expr] [GROUP BY ident (',' ident)*] [HAVING expr]
+                 [ORDER BY order_item (',' order_item)*] [LIMIT int]
+    select_list := select_item (',' select_item)*
+    select_item := expr [AS ident] | '*'-less (no bare star projection)
+    order_item  := ident [ASC|DESC]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | cmp_expr
+    cmp_expr  := add_expr (('='|'!='|'<'|'<='|'>'|'>=') add_expr)?
+    add_expr  := mul_expr (('+'|'-') mul_expr)*
+    mul_expr  := unary (('*'|'/'|'%') unary)*
+    unary     := '-' unary | atom
+    atom      := number | string | TRUE | FALSE | NULL
+               | AGG '(' (expr|'*') ')' | ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.sql.ast import (
+    AGGREGATE_FUNCS,
+    AggregateCall,
+    BinOp,
+    Column,
+    Expr,
+    JoinClause,
+    Literal,
+    Neg,
+    Not,
+    OrderItem,
+    Query,
+    SelectItem,
+    SQLError,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|[=<>+\-*/%(),.])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "ASC", "DESC", "TRUE", "FALSE", "NULL",
+    "JOIN", "INNER", "ON",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value):
+        self.kind = kind  # "number" | "string" | "ident" | "kw" | "op" | "eof"
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind}:{self.value}>"
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "number":
+            tokens.append(_Token("number", float(value) if "." in value else int(value)))
+        elif kind == "string":
+            tokens.append(_Token("string", value[1:-1].replace("''", "'")))
+        elif kind == "ident":
+            upper = value.upper()
+            if upper in _KEYWORDS or upper in AGGREGATE_FUNCS:
+                tokens.append(_Token("kw", upper))
+            else:
+                tokens.append(_Token("ident", value))
+        else:
+            tokens.append(_Token("op", "!=" if value == "<>" else value))
+    tokens.append(_Token("eof", None))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value=None) -> Optional[_Token]:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> _Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value if value is not None else kind
+            raise SQLError(f"expected {want!r}, found {self.current.value!r}")
+        return token
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect("kw", "SELECT")
+        select = [self.parse_select_item()]
+        while self.accept("op", ","):
+            select.append(self.parse_select_item())
+        self.expect("kw", "FROM")
+        table = self.expect("ident").value
+        join = None
+        if self.accept("kw", "INNER"):
+            self.expect("kw", "JOIN")
+            join = self.parse_join(table)
+        elif self.accept("kw", "JOIN"):
+            join = self.parse_join(table)
+
+        where = None
+        if self.accept("kw", "WHERE"):
+            where = self.parse_expr()
+        group_by: list[str] = []
+        if self.accept("kw", "GROUP"):
+            self.expect("kw", "BY")
+            group_by.append(self.parse_name())
+            while self.accept("op", ","):
+                group_by.append(self.parse_name())
+        having = None
+        if self.accept("kw", "HAVING"):
+            having = self.parse_expr()
+        order_by: list[OrderItem] = []
+        if self.accept("kw", "ORDER"):
+            self.expect("kw", "BY")
+            order_by.append(self.parse_order_item())
+            while self.accept("op", ","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept("kw", "LIMIT"):
+            token = self.expect("number")
+            if not isinstance(token.value, int) or token.value < 0:
+                raise SQLError("LIMIT requires a non-negative integer")
+            limit = token.value
+        self.expect("eof")
+        return Query(
+            select=tuple(select),
+            table=table,
+            join=join,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def parse_join(self, left_table: str) -> "JoinClause":
+        right_table = self.expect("ident").value
+        self.expect("kw", "ON")
+        first = self.parse_qualified()
+        self.expect("op", "=")
+        second = self.parse_qualified()
+        sides = {first[0]: first[1], second[0]: second[1]}
+        if set(sides) != {left_table, right_table}:
+            raise SQLError(
+                f"JOIN condition must reference {left_table!r} and {right_table!r}"
+            )
+        return JoinClause(
+            right_table=right_table,
+            left_key=sides[left_table],
+            right_key=sides[right_table],
+        )
+
+    def parse_qualified(self) -> tuple[str, str]:
+        table = self.expect("ident").value
+        self.expect("op", ".")
+        column = self.expect("ident").value
+        return table, column
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept("kw", "AS"):
+            alias = self.expect("ident").value
+        return SelectItem(expr, alias)
+
+    def parse_name(self) -> str:
+        """A column name, optionally table-qualified (``t.col``)."""
+        name = self.expect("ident").value
+        if self.accept("op", "."):
+            name = f"{name}.{self.expect('ident').value}"
+        return name
+
+    def parse_order_item(self) -> OrderItem:
+        name = self.parse_name()
+        descending = False
+        if self.accept("kw", "DESC"):
+            descending = True
+        else:
+            self.accept("kw", "ASC")
+        return OrderItem(name, descending)
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept("kw", "OR"):
+            left = BinOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept("kw", "AND"):
+            left = BinOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept("kw", "NOT"):
+            return Not(self.parse_not())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        for op in ("<=", ">=", "!=", "=", "<", ">"):
+            if self.accept("op", op):
+                return BinOp(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while True:
+            if self.accept("op", "+"):
+                left = BinOp("+", left, self.parse_mul())
+            elif self.accept("op", "-"):
+                left = BinOp("-", left, self.parse_mul())
+            else:
+                return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            if self.accept("op", "*"):
+                left = BinOp("*", left, self.parse_unary())
+            elif self.accept("op", "/"):
+                left = BinOp("/", left, self.parse_unary())
+            elif self.accept("op", "%"):
+                left = BinOp("%", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return Neg(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.current
+        if token.kind == "number" or token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "kw" and token.value in ("TRUE", "FALSE", "NULL"):
+            self.advance()
+            return Literal({"TRUE": True, "FALSE": False, "NULL": None}[token.value])
+        if token.kind == "kw" and token.value in AGGREGATE_FUNCS:
+            func = self.advance().value
+            self.expect("op", "(")
+            if func == "COUNT" and self.accept("op", "*"):
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect("op", ")")
+            return AggregateCall(func, arg)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "."):
+                column = self.expect("ident").value
+                return Column(f"{token.value}.{column}")
+            return Column(token.value)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise SQLError(f"unexpected token {token.value!r}")
+
+
+def parse(text: str) -> Query:
+    """Parse one SELECT statement into a :class:`Query`."""
+    if not text or not text.strip():
+        raise SQLError("empty query")
+    return _Parser(_lex(text.strip().rstrip(";"))).parse_query()

@@ -1,0 +1,32 @@
+"""Storage substrates: a block-based DFS, node-local files, spill runs, and
+an in-memory key-value store.
+
+All stores hold *real records* (so benchmark outputs are verifiable) while
+charging modeled disk/network time through the cluster's cost model. Sizes
+are tracked in logical bytes (see :mod:`repro.common.sizeof`); the scale
+model multiplies them when charging hardware.
+
+Data-loading convention: ``ingest*`` methods place data instantly and free
+of charge — they model the state *before* the measured run (the paper's
+inputs are already resident in HDFS / local disks when the clock starts).
+Everything else (``write``/``read``/``spill``) is a simulation process that
+charges disk and network time.
+"""
+
+from repro.storage.dfs import DFS, Block, DistributedFile, InputSplit
+from repro.storage.localfs import LocalFS, LocalFile, LocationRef
+from repro.storage.spill import SpillManager, SpillRun
+from repro.storage.kvstore import KVStore
+
+__all__ = [
+    "DFS",
+    "Block",
+    "DistributedFile",
+    "InputSplit",
+    "LocalFS",
+    "LocalFile",
+    "LocationRef",
+    "SpillManager",
+    "SpillRun",
+    "KVStore",
+]

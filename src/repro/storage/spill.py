@@ -1,0 +1,98 @@
+"""Spill-run management.
+
+Both engines spill in-memory collections to local disk when they outgrow
+the memory budget: HAMR's reduce flowlet "will be spilled to local disks"
+(§2), Hadoop's map output always stages through sorted on-disk runs. A
+:class:`SpillRun` is one such on-disk run; the manager charges disk plus
+serialization time and adjusts the node's memory account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import StorageError
+from repro.common.sizeof import logical_sizeof
+from repro.cluster.node import Node
+
+
+@dataclass
+class SpillRun:
+    """One on-disk run of records belonging to a node."""
+
+    run_id: int
+    node_id: int
+    records: list[Any]
+    nbytes: int  # pre-scale logical bytes
+    sorted_by_key: bool = False
+    freed: bool = False
+
+    @property
+    def nrecords(self) -> int:
+        return len(self.records)
+
+
+class SpillManager:
+    """Creates, reads back and frees spill runs on one node's disks."""
+
+    def __init__(self, node: Node, record_size_fn=logical_sizeof):
+        self.node = node
+        self.cost = node.cost
+        self._next_id = 0
+        self._live: dict[int, SpillRun] = {}
+        self._record_size = record_size_fn
+        # Metrics (scaled bytes)
+        self.bytes_spilled = 0
+        self.bytes_read_back = 0
+        self.runs_created = 0
+
+    def spill(self, records: Sequence[Any], sorted_by_key: bool = False, free_memory: bool = True):
+        """Process: write ``records`` to a new run, charging serde + disk.
+
+        If ``free_memory`` is set, releases the records' logical size from
+        the node's memory account (they were resident before the spill).
+        Returns the new :class:`SpillRun`.
+        """
+        recs = list(records)
+        nbytes = sum(self._record_size(r) for r in recs)
+        run = SpillRun(self._next_id, self.node.node_id, recs, nbytes, sorted_by_key)
+        self._next_id += 1
+        self._live[run.run_id] = run
+        self.runs_created += 1
+        self.bytes_spilled += int(self.cost.scaled_bytes(nbytes))
+        yield self.node.compute(self.cost.serde_cost(nbytes))
+        yield self.node.disk_write(nbytes)
+        if free_memory:
+            self.node.free(nbytes)
+        self.node.record_trace("spill", nbytes=nbytes, run_id=run.run_id)
+        return run
+
+    def read_back(self, run: SpillRun, reacquire_memory: bool = False):
+        """Process: read a run back, charging disk + serde.
+
+        Returns its records. With ``reacquire_memory`` the logical size is
+        re-charged to the memory account (caller must have headroom).
+        """
+        if run.freed:
+            raise StorageError(f"spill run {run.run_id} already freed")
+        if run.node_id != self.node.node_id:
+            raise StorageError(
+                f"run {run.run_id} lives on node {run.node_id}, not {self.node.node_id}"
+            )
+        self.bytes_read_back += int(self.cost.scaled_bytes(run.nbytes))
+        yield self.node.disk_read(run.nbytes)
+        yield self.node.compute(self.cost.serde_cost(run.nbytes))
+        if reacquire_memory:
+            self.node.alloc(run.nbytes)
+        return list(run.records)
+
+    def free(self, run: SpillRun) -> None:
+        if run.freed:
+            return
+        run.freed = True
+        self._live.pop(run.run_id, None)
+
+    @property
+    def live_runs(self) -> int:
+        return len(self._live)

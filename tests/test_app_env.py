@@ -1,0 +1,76 @@
+"""Tests for the benchmark environment plumbing and workload consistency."""
+
+import pytest
+
+import repro
+from repro.apps.base import AppEnv, AppResult
+from repro.cluster import small_cluster_spec
+from repro.evaluation.paper import PAPER_TABLE2
+from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
+
+
+class TestAppEnv:
+    def test_fresh_env_components_share_cluster(self):
+        env = AppEnv(small_cluster_spec(num_workers=3))
+        assert env.hamr.cluster is env.cluster
+        assert env.hadoop.cluster is env.cluster
+        assert env.hamr.localfs is env.localfs
+        assert env.hamr.kvstore is env.kvstore
+        assert env.hadoop.dfs is env.dfs
+
+    def test_ingest_local_round_robin(self):
+        env = AppEnv(small_cluster_spec(num_workers=3))
+        env.ingest_local("data", list(range(10)))
+        sizes = [
+            env.localfs.get_file(w.node_id, "data").nrecords
+            for w in env.cluster.workers
+        ]
+        assert sorted(sizes) == [3, 3, 4]
+        total = []
+        for w in env.cluster.workers:
+            total.extend(env.localfs.get_file(w.node_id, "data").records)
+        assert sorted(total) == list(range(10))
+
+    def test_ingest_dfs(self):
+        env = AppEnv(small_cluster_spec(num_workers=3))
+        env.ingest_dfs("f", [(0, "x")])
+        assert env.dfs.exists("f")
+
+    def test_default_spec(self):
+        env = AppEnv()
+        assert env.cluster.num_workers == 4
+
+
+class TestWorkloadConsistency:
+    def test_data_size_labels_match_paper(self):
+        for name in TABLE2_ORDER:
+            workload = workload_by_name(name, "tiny")
+            assert workload.data_size == PAPER_TABLE2[name].data_size
+
+    def test_labels_match_paper(self):
+        for name in TABLE2_ORDER:
+            workload = workload_by_name(name, "tiny")
+            assert workload.label == PAPER_TABLE2[name].benchmark
+
+    def test_fidelity_scales_real_data(self):
+        tiny = workload_by_name("wordcount", "tiny")
+        small = workload_by_name("wordcount", "small")
+        assert small.real_bytes > 5 * tiny.real_bytes
+        # modeled size stays constant across fidelities
+        assert tiny.modeled_bytes == small.modeled_bytes
+
+    def test_seed_changes_records(self):
+        a = workload_by_name("wordcount", "tiny", seed=1)
+        b = workload_by_name("wordcount", "tiny", seed=2)
+        assert a.records != b.records
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_app_result_shape(self):
+        result = AppResult("x", "hamr", 1.5, {"k": 1})
+        assert result.makespan == 1.5
+        assert result.counters == {}
+        assert result.metrics == {}

@@ -1,0 +1,100 @@
+"""Unit and property tests for repro.common.partitioner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.partitioner import (
+    HashPartitioner,
+    ModPartitioner,
+    RangePartitioner,
+    partition_counts,
+    stable_hash,
+)
+
+keys = st.one_of(
+    st.text(max_size=40),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.binary(max_size=40),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False),
+    st.tuples(st.text(max_size=10), st.integers(min_value=0, max_value=1000)),
+)
+
+
+class TestStableHash:
+    @given(keys)
+    def test_deterministic(self, key):
+        assert stable_hash(key) == stable_hash(key)
+
+    @given(keys)
+    def test_64_bit_range(self, key):
+        assert 0 <= stable_hash(key) < 2**64
+
+    def test_type_tagged(self):
+        # the same bit pattern through different types must not collide trivially
+        assert stable_hash("1") != stable_hash(1)
+        assert stable_hash(b"x") != stable_hash("x")
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_known_distinct_words(self):
+        words = ["the", "quick", "brown", "fox", "jumps"]
+        assert len({stable_hash(w) for w in words}) == len(words)
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            stable_hash(["list"])
+
+
+class TestHashPartitioner:
+    @given(keys, st.integers(min_value=1, max_value=64))
+    def test_in_range(self, key, n):
+        p = HashPartitioner(n)
+        assert 0 <= p.partition(key) < n
+
+    @given(keys)
+    def test_single_partition_collapses(self, key):
+        assert HashPartitioner(1).partition(key) == 0
+
+    def test_spread_over_many_words(self):
+        p = HashPartitioner(16)
+        counts = partition_counts(p, (f"word{i}" for i in range(4000)))
+        # Even key space → roughly balanced partitions (each within 2x of fair share)
+        assert min(counts) > 4000 / 16 / 2
+        assert max(counts) < 4000 / 16 * 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestModPartitioner:
+    def test_direct_placement(self):
+        p = ModPartitioner(5)
+        assert [p.partition(i) for i in range(7)] == [0, 1, 2, 3, 4, 0, 1]
+
+
+class TestRangePartitioner:
+    def test_boundaries(self):
+        p = RangePartitioner([10, 20, 30])
+        assert p.num_partitions == 4
+        assert p.partition(5) == 0
+        assert p.partition(10) == 0
+        assert p.partition(11) == 1
+        assert p.partition(25) == 2
+        assert p.partition(99) == 3
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([3, 1, 2])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20).map(sorted), st.integers())
+    def test_partition_respects_boundaries(self, boundaries, key):
+        p = RangePartitioner(boundaries)
+        idx = p.partition(key)
+        assert 0 <= idx <= len(boundaries)
+        if idx > 0:
+            assert boundaries[idx - 1] < key
+        if idx < len(boundaries):
+            assert key <= boundaries[idx]

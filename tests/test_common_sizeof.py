@@ -1,0 +1,92 @@
+"""Unit and property tests for logical size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.sizeof import logical_sizeof, pair_size
+
+
+class TestScalars:
+    def test_string_is_length(self):
+        assert logical_sizeof("hello") == 5
+        assert logical_sizeof("") == 0
+
+    def test_bytes_is_length(self):
+        assert logical_sizeof(b"abc") == 3
+
+    def test_numbers_fixed_width(self):
+        assert logical_sizeof(7) == 8
+        assert logical_sizeof(3.14) == 8
+
+    def test_bool_and_none_small(self):
+        assert logical_sizeof(True) == 1
+        assert logical_sizeof(None) == 1
+
+    def test_numpy_array_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert logical_sizeof(arr) == 800
+
+    def test_numpy_scalar(self):
+        assert logical_sizeof(np.float64(1.0)) == 8
+
+
+class TestContainers:
+    def test_tuple_sums_with_overhead(self):
+        assert logical_sizeof(("word", 1)) == 4 + 8 + 4
+
+    def test_dict(self):
+        assert logical_sizeof({"a": 1}) == 4 + 1 + 8
+
+    def test_nested(self):
+        nested = [("a", 1), ("bb", 2)]
+        assert logical_sizeof(nested) == 4 + (4 + 1 + 8) + (4 + 2 + 8)
+
+    def test_unsupported_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            logical_sizeof(Opaque())
+
+    def test_logical_size_protocol(self):
+        class LocationRef:
+            logical_size = 24
+
+        assert logical_sizeof(LocationRef()) == 24
+
+        class Dynamic:
+            def logical_size(self):
+                return 12
+
+        assert logical_sizeof(Dynamic()) == 12
+
+
+json_like = st.recursive(
+    st.one_of(
+        st.text(max_size=20),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.lists(children, max_size=4) | st.tuples(children, children),
+    max_leaves=10,
+)
+
+
+class TestProperties:
+    @given(json_like)
+    def test_non_negative_and_deterministic(self, obj):
+        size = logical_sizeof(obj)
+        assert size >= 0
+        assert logical_sizeof(obj) == size
+
+    @given(st.lists(st.integers(), max_size=8))
+    def test_monotone_in_elements(self, items):
+        assert logical_sizeof(items + [0]) > logical_sizeof(items)
+
+    @given(st.text(max_size=30), st.integers())
+    def test_pair_size_exceeds_parts(self, key, value):
+        assert pair_size(key, value) >= logical_sizeof(key) + logical_sizeof(value)

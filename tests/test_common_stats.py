@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.common.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import Histogram, RunningStats, gini, percentile
+
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_matches_numpy(self, values):
+        s = RunningStats()
+        s.extend(values)
+        assert s.count == len(values)
+        assert s.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+        assert s.min == min(values)
+        assert s.max == max(values)
+        if len(values) > 1:
+            assert s.variance == pytest.approx(
+                float(np.var(values, ddof=1)), rel=1e-6, abs=1e-4
+            )
+
+    def test_total(self):
+        s = RunningStats()
+        s.extend([1.0, 2.0, 3.0])
+        assert s.total == 6.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(0.0, 5.0, 5)
+        for v in [0.1, 1.2, 2.5, 4.9]:
+            h.add(v)
+        assert h.counts == [1, 1, 1, 0, 1]
+
+    def test_clamps_out_of_range(self):
+        h = Histogram(0.0, 1.0, 2)
+        h.add(-5.0)
+        h.add(99.0)
+        assert h.counts == [1, 1]
+        assert h.total == 2
+
+    def test_weighted_add(self):
+        h = Histogram(0.0, 1.0, 1)
+        h.add(0.5, count=10)
+        assert h.total == 10
+
+    def test_merge(self):
+        a = Histogram(0.0, 1.0, 2)
+        b = Histogram(0.0, 1.0, 2)
+        a.add(0.1)
+        b.add(0.9)
+        a.merge(b)
+        assert a.counts == [1, 1]
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(0, 1, 2).merge(Histogram(0, 1, 3))
+
+    def test_edges(self):
+        h = Histogram(0.0, 1.0, 4)
+        assert h.edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(0, 1, 0)
+        with pytest.raises(ValueError):
+            Histogram(1, 1, 3)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), max_size=100))
+    def test_total_conserved(self, values):
+        h = Histogram(0.0, 10.0, 7)
+        for v in values:
+            h.add(v)
+        assert h.total == len(values)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        vals = list(range(11))
+        assert percentile(vals, 0) == 0
+        assert percentile(vals, 100) == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(floats, min_size=1, max_size=100).map(sorted), st.floats(0, 100))
+    def test_matches_numpy(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-6
+        )
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini([0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_bounded(self, values):
+        g = gini(values)
+        assert -1e-9 <= g < 1.0

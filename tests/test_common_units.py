@@ -1,0 +1,55 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, TB, format_bytes, format_duration, parse_bytes
+
+
+class TestParseBytes:
+    def test_plain_int_passthrough(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_float_truncates(self):
+        assert parse_bytes(10.9) == 10
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("300GB", 300 * GB),
+            ("168MB", 168 * MB),
+            ("16 GB", 16 * GB),
+            ("1.5G", int(1.5 * GB)),
+            ("512", 512),
+            ("512B", 512),
+            ("2k", 2 * KB),
+            ("1TB", TB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_bytes("10QB")
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_gigabytes(self):
+        assert format_bytes(3 * GB) == "3.0GB"
+
+    def test_roundtrip_band(self):
+        # format then parse lands within 10% (formatting rounds to one decimal)
+        n = 1234567890
+        assert abs(parse_bytes(format_bytes(n)) - n) / n < 0.1
+
+
+def test_format_duration_matches_paper_style():
+    assert format_duration(5215.079) == "5215.079s"
+    assert format_duration(0) == "0.000s"

@@ -1,0 +1,199 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import make_rng
+from repro.data import (
+    ZipfSampler,
+    book_corpus,
+    document_corpus,
+    make_vocabulary,
+    movie_corpus,
+    parse_document_line,
+    parse_movie_line,
+    rmat_edges,
+    webgraph_edges,
+    zipf_weights,
+)
+from repro.data.movies import cosine_similarity, format_movie_line
+from repro.data.rmat import degree_stats
+from repro.data.webgraph import out_degrees
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        w = zipf_weights(100, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(99))
+
+    def test_exponent_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_sampler_skews_to_low_ranks(self):
+        sampler = ZipfSampler(1000, 1.2, make_rng(1, "z"))
+        draws = sampler.sample(20_000)
+        counts = np.bincount(draws, minlength=1000)
+        assert counts[0] > counts[100] > 0
+        top_share = counts[0] / len(draws)
+        assert abs(top_share - sampler.expected_top_share()) < 0.05
+
+    def test_sampler_in_range(self):
+        sampler = ZipfSampler(7, 1.0, make_rng(2, "z"))
+        draws = sampler.sample(500)
+        assert draws.min() >= 0 and draws.max() < 7
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1)
+
+
+class TestBookCorpus:
+    def test_reaches_target_size(self):
+        records = book_corpus(50_000, seed=3)
+        total = sum(len(line) for _, line in records)
+        assert 50_000 <= total < 55_000
+
+    def test_offsets_monotone(self):
+        records = book_corpus(5_000, seed=3)
+        offsets = [off for off, _ in records]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+    def test_deterministic(self):
+        assert book_corpus(10_000, seed=9) == book_corpus(10_000, seed=9)
+
+    def test_seeds_differ(self):
+        assert book_corpus(10_000, seed=1) != book_corpus(10_000, seed=2)
+
+    def test_vocabulary(self):
+        vocab = make_vocabulary(25)
+        assert len(vocab) == 25
+        assert vocab[0] == "the"
+        assert len(set(vocab)) == 25
+
+
+class TestMovies:
+    def test_roundtrip(self):
+        line = format_movie_line(7, [1, 5, 9], [3, 4, 5])
+        rec = parse_movie_line(line)
+        assert rec.movie_id == 7
+        assert rec.user_ids == (1, 5, 9)
+        assert rec.ratings == (3, 4, 5)
+        assert rec.average_rating == 4.0
+
+    def test_corpus_shape(self):
+        records = movie_corpus(50, seed=4, n_users=200)
+        assert len(records) == 50
+        for _, line in records:
+            rec = parse_movie_line(line)
+            assert 5 <= len(rec.ratings) <= 30
+            assert all(1 <= r <= 5 for r in rec.ratings)
+            assert len(set(rec.user_ids)) == len(rec.user_ids)
+
+    def test_rating_distribution_skewed(self):
+        records = movie_corpus(400, seed=5)
+        counts = {r: 0 for r in range(1, 6)}
+        for _, line in records:
+            for r in parse_movie_line(line).ratings:
+                counts[r] += 1
+        assert counts[4] > counts[1]  # 4s dominate 1s by construction
+
+    def test_cosine_similarity(self):
+        a = {1: 1.0, 2: 2.0}
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, {3: 1.0}) == 0.0
+        assert cosine_similarity(a, {}) == 0.0
+        b = {1: 2.0, 2: 4.0}
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            movie_corpus(0)
+        with pytest.raises(ValueError):
+            movie_corpus(5, min_ratings=0)
+        with pytest.raises(ValueError):
+            movie_corpus(5, rating_weights=(1, 0, 0, 0))
+
+
+class TestWebGraph:
+    def test_shape_and_no_self_links(self):
+        edges = webgraph_edges(100, 500, seed=6)
+        assert len(edges) == 500
+        assert all(0 <= s < 100 and 0 <= d < 100 and s != d for s, d in edges)
+
+    def test_every_page_has_outdegree(self):
+        edges = webgraph_edges(50, 300, seed=7)
+        assert set(out_degrees(edges)) == set(range(50))
+
+    def test_indegree_skew(self):
+        edges = webgraph_edges(500, 20_000, seed=8, zipf_exponent=1.0)
+        indeg = {}
+        for _, d in edges:
+            indeg[d] = indeg.get(d, 0) + 1
+        values = sorted(indeg.values(), reverse=True)
+        # top page gets far more links than the median page
+        assert values[0] > 10 * values[len(values) // 2]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            webgraph_edges(1, 10)
+        with pytest.raises(ValueError):
+            webgraph_edges(10, 5)
+
+
+class TestRmat:
+    def test_canonical_undirected_edges(self):
+        edges = rmat_edges(8, 2_000, seed=9)
+        assert all(u < v for u, v in edges)
+        assert all(0 <= u < 256 and 0 <= v < 256 for u, v in edges)
+        assert len(set(edges)) == len(edges)  # deduplicated
+
+    def test_power_law_degrees(self):
+        edges = rmat_edges(10, 8_000, seed=10)
+        n, mean, peak = degree_stats(edges)
+        assert n > 0
+        assert peak > 5 * mean  # heavy-tailed
+
+    def test_deterministic(self):
+        assert rmat_edges(6, 500, seed=1) == rmat_edges(6, 500, seed=1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(5, 10, probs=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestDocuments:
+    def test_format(self):
+        records = document_corpus(20, seed=11, n_labels=3)
+        assert len(records) == 20
+        labels = set()
+        for _, line in records:
+            label, words = parse_document_line(line)
+            labels.add(label)
+            assert len(words) == 50
+        assert labels <= {"label0", "label1", "label2"}
+
+    def test_labels_have_distinct_topics(self):
+        records = document_corpus(200, seed=12, n_labels=2, vocabulary_size=1000)
+        top: dict[str, dict[str, int]] = {}
+        for _, line in records:
+            label, words = parse_document_line(line)
+            counts = top.setdefault(label, {})
+            for w in words:
+                counts[w] = counts.get(w, 0) + 1
+        most0 = max(top["label0"], key=top["label0"].get)
+        most1 = max(top["label1"], key=top["label1"].get)
+        assert most0 != most1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=5))
+    def test_deterministic_property(self, n_docs, seed):
+        assert document_corpus(n_docs, seed=seed) == document_corpus(n_docs, seed=seed)

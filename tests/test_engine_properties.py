@@ -1,0 +1,163 @@
+"""Property-based tests: the engines against pure-Python oracles on
+randomized inputs, and conservation invariants of the data plane."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import pagerank, wordcount
+from repro.apps.base import AppEnv
+from repro.cluster import Cluster, small_cluster_spec
+from repro.core import (
+    CollectionSource,
+    FlowletGraph,
+    HamrEngine,
+    Loader,
+    Map,
+    PartialReduce,
+    Reduce,
+)
+from repro.mapreduce import HadoopEngine, Mapper, MRJob, Reducer
+from repro.storage import DFS
+
+slow_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+words = st.text(alphabet="abcdefg", min_size=1, max_size=4)
+corpus = st.lists(
+    st.lists(words, min_size=0, max_size=8).map(" ".join), min_size=0, max_size=25
+)
+
+
+def count_reference(lines):
+    counts = {}
+    for line in lines:
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+class TestWordCountOracle:
+    @slow_settings
+    @given(corpus, st.integers(min_value=2, max_value=5))
+    def test_hamr_matches_python(self, lines, workers):
+        records = list(enumerate(lines))
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=workers)))
+        g = FlowletGraph("wc")
+        loader = g.add(Loader("load", CollectionSource(records)))
+        tok = g.add(
+            Map("tok", fn=lambda ctx, _k, line: [ctx.emit(w, 1) for w in line.split()] and None)
+        )
+        count = g.add(
+            PartialReduce("count", initial=lambda _w: 0, combine=lambda a, v: a + v)
+        )
+        g.connect(loader, tok)
+        g.connect(tok, count)
+        result = engine.run(g)
+        assert dict(result.output("count")) == count_reference(lines)
+
+    @slow_settings
+    @given(corpus)
+    def test_hadoop_matches_python(self, lines):
+        records = list(enumerate(lines))
+        cluster = Cluster(small_cluster_spec(num_workers=3))
+        dfs = DFS(cluster)
+        dfs.ingest("in", records)
+        engine = HadoopEngine(cluster, dfs)
+
+        def tok(ctx, _k, line):
+            for w in line.split():
+                ctx.emit(w, 1)
+
+        job = MRJob(
+            "wc", "in", "out",
+            mapper=Mapper(fn=tok),
+            reducer=Reducer(fn=lambda ctx, w, vs: ctx.emit(w, sum(vs))),
+        )
+        result = engine.run(job)
+        assert dict(result.outputs) == count_reference(lines)
+
+
+class TestConservation:
+    @slow_settings
+    @given(
+        st.lists(st.tuples(st.integers(0, 50), st.integers()), max_size=40),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_identity_pipeline_delivers_every_pair_once(self, pairs, workers):
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=workers)))
+        g = FlowletGraph("ident")
+        loader = g.add(Loader("load", CollectionSource(pairs, splits_per_worker=2)))
+        ident = g.add(Map("ident", fn=lambda ctx, k, v: ctx.emit(k, v)))
+        g.connect(loader, ident)
+        result = engine.run(g)
+        assert sorted(result.output("ident"), key=repr) == sorted(pairs, key=repr)
+
+    @slow_settings
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(-100, 100)), max_size=40))
+    def test_reduce_sees_exactly_the_emitted_multiset(self, pairs):
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=3)))
+        g = FlowletGraph("grp")
+        loader = g.add(Loader("load", CollectionSource(pairs)))
+        red = g.add(Reduce("red", fn=lambda ctx, k, vs: ctx.emit(k, sorted(vs))))
+        g.connect(loader, red)
+        result = engine.run(g)
+        expected = {}
+        for k, v in pairs:
+            expected.setdefault(k, []).append(v)
+        assert dict(result.output("red")) == {
+            k: sorted(vs) for k, vs in expected.items()
+        }
+
+    @slow_settings
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    def test_map_chain_composes(self, multipliers):
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=2)))
+        g = FlowletGraph("chain")
+        inputs = [(i, i) for i in range(12)]
+        prev = g.add(Loader("load", CollectionSource(inputs)))
+        for stage, m in enumerate(multipliers):
+            mapper = g.add(
+                Map(f"x{stage}", fn=lambda ctx, k, v, m=m: ctx.emit(k, v * m))
+            )
+            g.connect(prev, mapper)
+            prev = mapper
+        result = engine.run(g)
+        product = 1
+        for m in multipliers:
+            product *= m
+        assert sorted(result.output(prev.name)) == [(i, i * product) for i in range(12)]
+
+
+class TestPageRankOracle:
+    @slow_settings
+    @given(
+        st.integers(min_value=10, max_value=40),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_hamr_matches_reference(self, n_pages, iterations, seed):
+        params = pagerank.PageRankParams(
+            n_pages=n_pages, n_edges=n_pages * 3, iterations=iterations, seed=seed
+        )
+        edges = pagerank.generate_input(params)
+        expected = pagerank.reference(edges, params)
+        env = AppEnv(small_cluster_spec(num_workers=3))
+        result = pagerank.run_hamr(env, params, edges)
+        assert set(result.output) == set(expected)
+        for page, rank in expected.items():
+            assert result.output[page] == pytest.approx(rank, rel=1e-9)
+
+
+class TestWordCountEnginesAgree:
+    @slow_settings
+    @given(corpus)
+    def test_both_engines_identical_output(self, lines):
+        records = list(enumerate(lines))
+        params = wordcount.WordCountParams()
+        hamr = wordcount.run_hamr(AppEnv(small_cluster_spec()), params, records)
+        hadoop = wordcount.run_hadoop(AppEnv(small_cluster_spec()), params, records)
+        assert hamr.output == hadoop.output

@@ -1,0 +1,51 @@
+"""Tests for graph description and misc graph API surface."""
+
+from repro.core import (
+    CollectionSource,
+    EdgeMode,
+    FlowletGraph,
+    Loader,
+    Map,
+    PartialReduce,
+    Reduce,
+    sum_combiner,
+)
+
+
+def build_graph():
+    g = FlowletGraph("pipeline")
+    loader = g.add(Loader("load", CollectionSource([("k", 1)])))
+    mapper = g.add(Map("transform", fn=lambda ctx, k, v: ctx.emit(k, v)))
+    count = g.add(
+        PartialReduce("count", initial=lambda _k: 0, combine=lambda a, v: a + v)
+    )
+    audit = g.add(Reduce("audit", fn=lambda ctx, k, vs: None))
+    g.connect(loader, mapper, mode=EdgeMode.LOCAL)
+    g.connect(mapper, count, combiner=sum_combiner())
+    g.connect(mapper, audit)
+    return g
+
+
+class TestDescribe:
+    def test_lists_every_flowlet_with_kind(self):
+        text = build_graph().describe()
+        assert "FlowletGraph 'pipeline'" in text
+        assert "[loader] load" in text
+        assert "[map] transform" in text
+        assert "[partial_reduce] count" in text
+        assert "[reduce] audit" in text
+
+    def test_edges_annotated(self):
+        text = build_graph().describe()
+        assert "-> transform  (local)" in text
+        assert "-> count  (combiner)" in text
+        assert "-> audit" in text
+
+    def test_sinks_marked(self):
+        text = build_graph().describe()
+        assert text.count("=> job output") == 2  # count and audit
+
+    def test_dependency_order(self):
+        text = build_graph().describe()
+        assert text.index("load") < text.index("[map] transform")
+        assert text.index("[map] transform") < text.index("[partial_reduce] count")

@@ -1,0 +1,63 @@
+"""Load-balance tests for a paper claim (§2): running the *whole* flowlet
+graph on every node with fine-grain tasks "brings in more balanced
+workload" — so HAMR should tolerate a straggler node better than the
+barrier-bound baseline."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import wordcount
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+
+
+def hetero_spec(slow_factor: float):
+    spec = small_cluster_spec(num_workers=4, scale=2e5)
+    slow = replace(spec.node, speed_factor=slow_factor)
+    return replace(spec, node_overrides=((2, slow),))
+
+
+@pytest.fixture(scope="module")
+def records():
+    params = wordcount.WordCountParams(target_bytes=60_000, seed=5)
+    return params, wordcount.generate_input(params)
+
+
+def degradation(engine_runner, params, records, slow_factor):
+    """makespan(with straggler) / makespan(homogeneous)."""
+    base = engine_runner(AppEnv(small_cluster_spec(num_workers=4, scale=2e5)), params, records)
+    slow = engine_runner(AppEnv(hetero_spec(slow_factor)), params, records)
+    return slow.makespan / base.makespan
+
+
+class TestStragglerTolerance:
+    def test_both_engines_degrade(self, records):
+        params, recs = records
+        hamr = degradation(wordcount.run_hamr, params, recs, 0.25)
+        hadoop = degradation(wordcount.run_hadoop, params, recs, 0.25)
+        assert hamr > 1.0
+        assert hadoop > 1.0
+
+    def test_degradations_comparable(self, records):
+        """An honest finding worth recording: under *static key ownership*
+        (hash partitioning pins 1/4 of the key space to the slow node),
+        neither engine escapes the straggler — fine-grain scheduling
+        balances work *within* a node's share, not across shares. Both
+        degradations land in the same band (within 35% of each other),
+        bounded by the slow node's 4x share cost."""
+        params, recs = records
+        hamr = degradation(wordcount.run_hamr, params, recs, 0.25)
+        hadoop = degradation(wordcount.run_hadoop, params, recs, 0.25)
+        assert hamr / hadoop < 1.35
+        assert hadoop / hamr < 1.35
+        # and neither exceeds the theoretical 4x bound
+        assert hamr < 4.0 and hadoop < 4.0
+
+    def test_results_identical_on_hetero_cluster(self, records):
+        params, recs = records
+        expected = wordcount.reference(recs)
+        hamr = wordcount.run_hamr(AppEnv(hetero_spec(0.25)), params, recs)
+        hadoop = wordcount.run_hadoop(AppEnv(hetero_spec(0.25)), params, recs)
+        assert hamr.output == expected
+        assert hadoop.output == expected

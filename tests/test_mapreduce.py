@@ -1,0 +1,181 @@
+"""Tests for the Hadoop-style baseline engine."""
+
+import pytest
+
+from repro.common.errors import JobError
+from repro.cluster import Cluster, small_cluster_spec
+from repro.core.combiner import sum_combiner
+from repro.mapreduce import HadoopEngine, Mapper, MRJob, Reducer, run_chain
+from repro.mapreduce.chain import chain_makespan
+from repro.storage import DFS
+
+
+LINES = [
+    (0, "the quick brown fox"),
+    (1, "the lazy dog"),
+    (2, "the quick dog"),
+]
+EXPECTED = {"the": 3, "quick": 2, "dog": 2, "brown": 1, "fox": 1, "lazy": 1}
+
+
+def make_engine(num_workers=4, **kw):
+    cluster = Cluster(small_cluster_spec(num_workers=num_workers, **kw))
+    dfs = DFS(cluster)
+    return HadoopEngine(cluster, dfs)
+
+
+def tokenize(ctx, _offset, line):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def wordcount_job(input_file="in.txt", output_file="out", combiner=None):
+    return MRJob(
+        "wordcount",
+        input_file,
+        output_file,
+        mapper=Mapper(fn=tokenize),
+        reducer=Reducer(fn=lambda ctx, k, vs: ctx.emit(k, sum(vs))),
+        combiner=combiner,
+    )
+
+
+class TestWordCount:
+    def test_counts_correct(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        result = engine.run(wordcount_job())
+        assert dict(result.outputs) == EXPECTED
+        assert result.makespan > 0
+
+    def test_output_written_to_dfs(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        engine.run(wordcount_job())
+        assert engine.dfs.exists("out")
+        assert dict(engine.dfs.get_file("out").records()) == EXPECTED
+
+    def test_combiner_preserves_result(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        result = engine.run(wordcount_job(combiner=sum_combiner()))
+        assert dict(result.outputs) == EXPECTED
+
+    def test_combiner_reduces_shuffle(self):
+        lines = [(i, "alpha beta " * 20) for i in range(200)]
+        plain = make_engine()
+        plain.dfs.ingest("in.txt", lines)
+        r_plain = plain.run(wordcount_job())
+        combined = make_engine()
+        combined.dfs.ingest("in.txt", lines)
+        r_comb = combined.run(wordcount_job(combiner=sum_combiner()))
+        assert r_comb.metrics["shuffled_bytes"] < r_plain.metrics["shuffled_bytes"]
+
+    def test_job_startup_floor(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        result = engine.run(wordcount_job())
+        cost = engine.cluster.cost
+        assert result.makespan >= cost.hadoop_job_startup + cost.hadoop_task_startup
+
+    def test_determinism(self):
+        def run_once():
+            engine = make_engine()
+            engine.dfs.ingest("in.txt", LINES)
+            result = engine.run(wordcount_job())
+            return result.makespan, sorted(result.outputs)
+
+        assert run_once() == run_once()
+
+    def test_counters(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        job = MRJob(
+            "count-lines",
+            "in.txt",
+            "out",
+            mapper=Mapper(fn=lambda ctx, k, v: ctx.counter("lines")),
+            reducer=Reducer(fn=lambda ctx, k, vs: None),
+        )
+        result = engine.run(job)
+        assert result.counters["lines"] == 3
+
+
+class TestMapOnly:
+    def test_map_only_job(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", [(i, i * i) for i in range(10)])
+        job = MRJob(
+            "square",
+            "in.txt",
+            "out",
+            mapper=Mapper(fn=lambda ctx, k, v: ctx.emit(k, v + 1)),
+        )
+        result = engine.run(job)
+        assert sorted(result.outputs) == [(i, i * i + 1) for i in range(10)]
+        assert engine.dfs.exists("out")
+        assert result.metrics["reduce_tasks"] == 0
+
+
+class TestChains:
+    def test_two_job_chain(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        job1 = wordcount_job("in.txt", "counts")
+        # second job: bucket counts by frequency
+        job2 = MRJob(
+            "bucket",
+            "counts",
+            "buckets",
+            mapper=Mapper(fn=lambda ctx, word, count: ctx.emit(count, word)),
+            reducer=Reducer(fn=lambda ctx, count, words: ctx.emit(count, sorted(words))),
+        )
+        results = run_chain(engine, [job1, job2])
+        assert len(results) == 2
+        buckets = dict(results[1].outputs)
+        assert buckets[3] == ["the"]
+        assert set(buckets[2]) == {"dog", "quick"}
+        # chain pays two job startups
+        assert chain_makespan(results) >= 2 * engine.cost.hadoop_job_startup
+
+    def test_chain_missing_input_rejected(self):
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        bad = wordcount_job("missing.txt", "out")
+        with pytest.raises(JobError):
+            run_chain(engine, [bad])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(JobError):
+            run_chain(make_engine(), [])
+
+
+class TestCostStructure:
+    def test_more_blocks_more_map_tasks(self):
+        # High scale → more modeled blocks → more map tasks.
+        engine = make_engine(num_workers=4, scale=2e6)
+        lines = [(i, "x" * 100) for i in range(2000)]  # ~200KB real → ~400GB modeled
+        engine.dfs.ingest("in.txt", lines)
+        result = engine.run(wordcount_job())
+        assert result.metrics["map_tasks"] > 100
+
+    def test_reduce_barrier_orders_phases(self):
+        # Map and reduce JVM startups overlap (reducers launch at job
+        # start), so the hard floor is startup + one task startup, and the
+        # reduce path must add fetch + merge + DFS write on top of it.
+        engine = make_engine()
+        engine.dfs.ingest("in.txt", LINES)
+        result = engine.run(wordcount_job())
+        cost = engine.cluster.cost
+        assert result.makespan > cost.hadoop_job_startup + cost.hadoop_task_startup
+
+    def test_reducer_side_spill_under_pressure(self):
+        # Fetched shuffle segments overflow the per-reduce-task container
+        # heap (1GB modeled) when the scale multiplier makes them huge.
+        engine = make_engine(num_workers=2, scale=2e7)
+        lines = [(i, f"w{i % 40} " * 30) for i in range(300)]
+        engine.dfs.ingest("in.txt", lines)
+        result = engine.run(wordcount_job())
+        total = sum(v for _, v in result.outputs)
+        assert total == 300 * 30
+        assert result.metrics.get("reduce_spills", 0) > 0

@@ -1,0 +1,113 @@
+"""Tests for master-slave mode (job management over the engine)."""
+
+import pytest
+
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+from repro.common.errors import JobError
+from repro.core import CollectionSource, FlowletGraph, Loader, Map, PartialReduce
+from repro.core.master import HamrMaster, JobState
+
+
+def make_master(num_workers=3):
+    env = AppEnv(small_cluster_spec(num_workers=num_workers))
+    return HamrMaster(env.hamr), env
+
+
+def count_job(name: str, items, fail=False):
+    graph = FlowletGraph(name)
+    loader = graph.add(Loader("load", CollectionSource(items)))
+
+    def fn(ctx, k, v):
+        if fail:
+            raise RuntimeError("user code exploded")
+        ctx.emit("n", 1)
+
+    mapper = graph.add(Map("m", fn=fn))
+    total = graph.add(PartialReduce("total", initial=lambda _k: 0, combine=lambda a, v: a + v))
+    graph.connect(loader, mapper)
+    graph.connect(mapper, total)
+    return graph
+
+
+class TestLifecycle:
+    def test_submit_then_run(self):
+        master, _env = make_master()
+        handle = master.submit(count_job("j1", [(i, i) for i in range(5)]))
+        assert handle.state is JobState.QUEUED
+        assert master.queued == [handle]
+        ran = master.run_pending()
+        assert ran == [handle]
+        assert handle.state is JobState.SUCCEEDED
+        assert handle.result.output("total") == [("n", 5)]
+        assert handle.started_at is not None
+        assert handle.finished_at >= handle.started_at
+
+    def test_fifo_order(self):
+        master, _env = make_master()
+        h1 = master.submit(count_job("first", [(0, 0)]))
+        h2 = master.submit(count_job("second", [(0, 0)]))
+        master.run_pending()
+        assert h1.finished_at <= h2.started_at
+        assert [h.name for h in master.history] == ["first", "second"]
+
+    def test_run_convenience(self):
+        master, _env = make_master()
+        handle = master.run(count_job("now", [(0, 0), (1, 1)]))
+        assert handle.state is JobState.SUCCEEDED
+
+    def test_invalid_graph_rejected_at_submit(self):
+        master, _env = make_master()
+        with pytest.raises(Exception):
+            master.submit(FlowletGraph("empty"))
+
+    def test_job_lookup(self):
+        master, _env = make_master()
+        handle = master.run(count_job("findme", [(0, 0)]))
+        assert master.job(handle.job_id) is handle
+        with pytest.raises(JobError):
+            master.job(999)
+
+
+class TestFailureHandling:
+    def test_failure_poisons_master(self):
+        master, _env = make_master()
+        bad = master.submit(count_job("bad", [(0, 0)], fail=True))
+        queued = master.submit(count_job("after", [(0, 0)]))
+        master.run_pending()
+        assert bad.state is JobState.FAILED
+        assert "user code exploded" in bad.error
+        assert not master.healthy
+        assert queued.state is JobState.QUEUED  # never started
+        with pytest.raises(JobError):
+            master.submit(count_job("more", [(0, 0)]))
+
+    def test_reset_recovers(self):
+        master, _env = make_master()
+        master.submit(count_job("bad", [(0, 0)], fail=True))
+        pending = master.submit(count_job("survivor", [(0, 0)]))
+        master.run_pending()
+        fresh = AppEnv(small_cluster_spec(num_workers=3))
+        master.reset(fresh.hamr)
+        assert master.healthy
+        master.run_pending()
+        assert pending.state is JobState.SUCCEEDED
+
+
+class TestClusterView:
+    def test_workers_heartbeat(self):
+        master, env = make_master(num_workers=4)
+        info = master.workers()
+        assert len(info) == 4
+        assert all(w.worker_threads == 4 for w in info)
+        assert all(w.memory_pressure == 0.0 for w in info)
+
+    def test_summary(self):
+        master, _env = make_master()
+        master.run(count_job("a", [(0, 0)]))
+        master.submit(count_job("b", [(0, 0)]))
+        summary = master.summary()
+        assert summary["healthy"]
+        assert summary["jobs"] == {"succeeded": 1, "queued": 1}
+        assert summary["virtual_time"] > 0
+        assert summary["workers"] == 3

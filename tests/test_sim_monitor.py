@@ -1,0 +1,78 @@
+"""Tests for tracing and utilization metering, plus seed derivation."""
+
+import pytest
+
+from repro.common.rng import derive_seed, make_rng
+from repro.sim import Simulator, Trace, UtilizationMeter
+
+
+class TestTrace:
+    def test_records_time_and_payload(self):
+        sim = Simulator()
+        trace = Trace(sim)
+
+        def proc(sim):
+            trace.record("spill", nbytes=100)
+            yield 2.0
+            trace.record("spill", nbytes=200)
+            trace.record("stall")
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert trace.count("spill") == 2
+        assert trace.count("stall") == 1
+        assert [r.time for r in trace.filter("spill")] == [0.0, 2.0]
+        assert trace.filter("spill")[1].payload == {"nbytes": 200}
+        assert len(trace) == 3
+
+    def test_disabled_trace_records_nothing(self):
+        sim = Simulator()
+        trace = Trace(sim, enabled=False)
+        trace.record("x")
+        assert len(trace) == 0
+
+
+class TestUtilizationMeter:
+    def test_half_busy(self):
+        sim = Simulator()
+        meter = UtilizationMeter(sim, capacity=2)
+
+        def proc(sim):
+            meter.enter(2)
+            yield 5.0
+            meter.leave(2)
+            yield 5.0
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert meter.utilization() == pytest.approx(0.5)
+
+    def test_leave_more_than_busy_rejected(self):
+        sim = Simulator()
+        meter = UtilizationMeter(sim, capacity=1)
+        with pytest.raises(ValueError):
+            meter.leave()
+
+    def test_zero_elapsed(self):
+        sim = Simulator()
+        meter = UtilizationMeter(sim, capacity=1)
+        assert meter.utilization() == 0.0
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "webgraph") != derive_seed(42, "text")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_rng_streams_independent(self):
+        a = make_rng(7, "gen", 0).random(8)
+        b = make_rng(7, "gen", 1).random(8)
+        assert not (a == b).all()
+
+    def test_rng_reproducible(self):
+        assert (make_rng(7, "gen").random(8) == make_rng(7, "gen").random(8)).all()

@@ -1,0 +1,227 @@
+"""Tests for bounded simulated queues (flow-control substrate)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim import QueueClosed, Simulator, SimQueue
+
+
+class TestBasicFlow:
+    def test_put_then_get(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        got = []
+
+        def producer(sim):
+            yield q.put("x")
+
+        def consumer(sim):
+            got.append((yield q.get()))
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield q.get()
+            got.append((sim.now, item))
+
+        def producer(sim):
+            yield 5.0
+            yield q.put("late")
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        got = []
+
+        def producer(sim):
+            for i in range(5):
+                yield q.put(i)
+
+        def consumer(sim):
+            for _ in range(5):
+                got.append((yield q.get()))
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestBoundedCapacity:
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=1)
+        log = []
+
+        def producer(sim):
+            yield q.put("a")
+            log.append(("put-a", sim.now))
+            yield q.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer(sim):
+            yield 10.0
+            yield q.get()
+            yield q.get()
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert log == [("put-a", 0.0), ("put-b", 10.0)]
+        assert q.put_blocked == 1
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=2)
+        assert q.try_put("a")
+        assert q.try_put("b")
+        assert not q.try_put("c")
+
+    def test_weighted_capacity(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=100)
+        assert q.try_put("big", weight=80)
+        assert not q.try_put("big2", weight=40)
+        assert q.try_put("small", weight=20)
+        assert q.weight == 100
+        assert q.full
+
+    def test_oversized_item_rejected(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=10)
+        with pytest.raises(SimulationError):
+            q.try_put("x", weight=11)
+
+    def test_when_space_fires_after_get(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=1)
+        q.try_put("a")
+        resumed = []
+
+        def waiter(sim):
+            yield q.when_space()
+            resumed.append(sim.now)
+            assert q.try_put("b")
+
+        def consumer(sim):
+            yield 3.0
+            yield q.get()
+
+        sim.spawn(waiter(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert resumed == [3.0]
+
+    def test_when_space_immediate_if_not_full(self):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=5)
+        fired = []
+
+        def waiter(sim):
+            yield q.when_space()
+            fired.append(sim.now)
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert fired == [0.0]
+
+
+class TestClose:
+    def test_drain_then_closed(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        got = []
+
+        def consumer(sim):
+            try:
+                while True:
+                    got.append((yield q.get()))
+            except QueueClosed:
+                got.append("closed")
+
+        def producer(sim):
+            yield q.put(1)
+            yield q.put(2)
+            q.close()
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert got == [1, 2, "closed"]
+
+    def test_pending_getter_fails_on_close(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        outcome = []
+
+        def consumer(sim):
+            try:
+                yield q.get()
+            except QueueClosed:
+                outcome.append(sim.now)
+
+        def closer(sim):
+            yield 2.0
+            q.close()
+
+        sim.spawn(consumer(sim))
+        sim.spawn(closer(sim))
+        sim.run()
+        assert outcome == [2.0]
+
+    def test_put_after_close_rejected(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        q.close()
+        with pytest.raises(SimulationError):
+            q.try_put("x")
+
+    def test_close_idempotent(self):
+        sim = Simulator()
+        q = SimQueue(sim)
+        q.close()
+        q.close()
+        assert q.closed
+
+
+class TestPipelineProperty:
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=5))
+    def test_everything_flows_through_bounded_pipe(self, items, capacity):
+        sim = Simulator()
+        q = SimQueue(sim, capacity=capacity)
+        received = []
+
+        def producer(sim):
+            for item in items:
+                yield q.put(item)
+            q.close()
+
+        def consumer(sim):
+            try:
+                while True:
+                    received.append((yield q.get()))
+                    yield 0.01  # slow consumer forces backpressure
+            except QueueClosed:
+                pass
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert received == items
+        assert q.total_put == len(items)
+        assert q.total_got == len(items)

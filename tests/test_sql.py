@@ -1,0 +1,238 @@
+"""Tests for the SQL layer: lexer/parser, compiler, execution on the engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+from repro.sql import Catalog, SQLError, SQLSession, parse
+from repro.sql.ast import AggregateCall, BinOp, Column, Literal
+from repro.sql.compiler import order_and_limit
+
+MOVIES = [
+    {"title": "Alpha", "genre": "drama", "year": 1999, "rating": 3.5},
+    {"title": "Beta", "genre": "comedy", "year": 2005, "rating": 4.0},
+    {"title": "Gamma", "genre": "drama", "year": 2010, "rating": 4.5},
+    {"title": "Delta", "genre": "comedy", "year": 2001, "rating": 2.0},
+    {"title": "Epsilon", "genre": "drama", "year": 2015, "rating": 5.0},
+    {"title": "Zeta", "genre": "scifi", "year": 2020, "rating": 4.2},
+]
+
+
+@pytest.fixture()
+def session():
+    env = AppEnv(small_cluster_spec(num_workers=3))
+    catalog = Catalog()
+    catalog.register("movies", MOVIES)
+    return SQLSession(env.hamr, catalog)
+
+
+class TestParser:
+    def test_minimal(self):
+        q = parse("SELECT title FROM movies")
+        assert q.table == "movies"
+        assert q.output_names() == ["title"]
+        assert not q.is_aggregate
+
+    def test_full_clause_set(self):
+        q = parse(
+            "SELECT genre, COUNT(*) AS n FROM movies WHERE year > 2000 "
+            "GROUP BY genre HAVING n > 1 ORDER BY n DESC, genre ASC LIMIT 3;"
+        )
+        assert q.is_aggregate
+        assert q.group_by == ("genre",)
+        assert q.having is not None
+        assert [(o.name, o.descending) for o in q.order_by] == [("n", True), ("genre", False)]
+        assert q.limit == 3
+
+    def test_expression_precedence(self):
+        q = parse("SELECT a + b * 2 AS x FROM t")
+        expr = q.select[0].expr
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_string_literal_escaping(self):
+        q = parse("SELECT title FROM movies WHERE title = 'it''s'")
+        assert q.where.right == Literal("it's")
+
+    def test_keywords_case_insensitive(self):
+        q = parse("select title from movies where year >= 2000")
+        assert q.where is not None
+
+    def test_count_star_only(self):
+        parse("SELECT COUNT(*) FROM t")
+        with pytest.raises(SQLError):
+            parse("SELECT SUM(*) FROM t")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT a FROM t GROUP a",
+            "SELECT a b c FROM t",
+            "SELECT a FROM t ??",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SQLError):
+            parse(bad)
+
+    def test_not_and_or(self):
+        q = parse("SELECT a FROM t WHERE NOT a = 1 AND b = 2 OR c = 3")
+        # OR binds loosest
+        assert isinstance(q.where, BinOp) and q.where.op == "OR"
+
+
+class TestProjectionQueries:
+    def test_select_columns(self, session):
+        result = session.run("SELECT title, year FROM movies")
+        assert len(result) == 6
+        assert set(result.names) == {"title", "year"}
+        assert sorted(result.column("title")) == sorted(m["title"] for m in MOVIES)
+
+    def test_where_filters(self, session):
+        result = session.run("SELECT title FROM movies WHERE genre = 'drama'")
+        assert sorted(result.column("title")) == ["Alpha", "Epsilon", "Gamma"]
+
+    def test_computed_columns(self, session):
+        result = session.run(
+            "SELECT title, (2026 - year) AS age FROM movies WHERE title = 'Alpha'"
+        )
+        assert result.rows == [{"title": "Alpha", "age": 27}]
+
+    def test_order_by_limit(self, session):
+        result = session.run(
+            "SELECT title, rating FROM movies ORDER BY rating DESC LIMIT 2"
+        )
+        assert result.column("title") == ["Epsilon", "Gamma"]
+
+    def test_complex_predicate(self, session):
+        result = session.run(
+            "SELECT title FROM movies WHERE (year >= 2000 AND rating > 4.0) OR genre = 'scifi'"
+        )
+        assert sorted(result.column("title")) == ["Epsilon", "Gamma", "Zeta"]
+
+    def test_unknown_column_fails(self, session):
+        with pytest.raises(Exception):
+            session.run("SELECT nope FROM movies")
+
+
+class TestAggregateQueries:
+    def test_global_count(self, session):
+        result = session.run("SELECT COUNT(*) AS n FROM movies")
+        assert result.rows == [{"n": 6}]
+
+    def test_group_by_count_and_avg(self, session):
+        result = session.run(
+            "SELECT genre, COUNT(*) AS n, AVG(rating) AS avg_r FROM movies "
+            "GROUP BY genre ORDER BY genre"
+        )
+        assert result.column("genre") == ["comedy", "drama", "scifi"]
+        assert result.column("n") == [2, 3, 1]
+        assert result.column("avg_r")[1] == pytest.approx((3.5 + 4.5 + 5.0) / 3)
+
+    def test_min_max_sum(self, session):
+        result = session.run(
+            "SELECT MIN(year) AS lo, MAX(year) AS hi, SUM(rating) AS total FROM movies"
+        )
+        assert result.rows == [
+            {"lo": 1999, "hi": 2020, "total": pytest.approx(23.2)}
+        ]
+
+    def test_having(self, session):
+        result = session.run(
+            "SELECT genre, COUNT(*) AS n FROM movies GROUP BY genre HAVING n >= 2 ORDER BY genre"
+        )
+        assert result.column("genre") == ["comedy", "drama"]
+
+    def test_where_before_group(self, session):
+        result = session.run(
+            "SELECT genre, COUNT(*) AS n FROM movies WHERE year >= 2005 GROUP BY genre ORDER BY genre"
+        )
+        assert dict(zip(result.column("genre"), result.column("n"))) == {
+            "comedy": 1, "drama": 2, "scifi": 1,
+        }
+
+    def test_aggregate_arithmetic(self, session):
+        result = session.run(
+            "SELECT SUM(rating) / COUNT(*) AS mean FROM movies WHERE genre = 'comedy'"
+        )
+        assert result.rows == [{"mean": pytest.approx(3.0)}]
+
+    def test_bare_column_outside_group_rejected(self, session):
+        with pytest.raises(SQLError):
+            session.run("SELECT title, COUNT(*) FROM movies GROUP BY genre")
+
+
+class TestSessionPlumbing:
+    def test_unknown_table(self, session):
+        with pytest.raises(SQLError):
+            session.run("SELECT a FROM nothere")
+
+    def test_catalog_validation(self):
+        catalog = Catalog()
+        with pytest.raises(SQLError):
+            catalog.register("empty", [])
+        with pytest.raises(SQLError):
+            catalog.register("ragged", [{"a": 1}, {"b": 2}])
+
+    def test_catalog_listing(self, session):
+        assert session.catalog.tables() == ["movies"]
+        assert session.catalog.columns("movies") == ("title", "genre", "year", "rating")
+
+    def test_explain(self, session):
+        plan = session.explain(
+            "SELECT genre, COUNT(*) AS n FROM movies GROUP BY genre ORDER BY n"
+        )
+        assert "TableScan" in plan
+        assert "partial_reduce" in plan
+        assert "OrderAndLimit" in plan
+
+    def test_makespan_positive(self, session):
+        assert session.run("SELECT title FROM movies").makespan > 0
+
+
+class TestOrderAndLimit:
+    def test_none_sorts_first(self):
+        q = parse("SELECT a FROM t ORDER BY a")
+        rows = [{"a": 3}, {"a": None}, {"a": 1}]
+        assert [r["a"] for r in order_and_limit(rows, q)] == [None, 1, 3]
+
+    def test_unknown_order_column(self):
+        q = parse("SELECT a FROM t ORDER BY b")
+        with pytest.raises(SQLError):
+            order_and_limit([{"a": 1}], q)
+
+
+class TestSQLvsPython:
+    """Property test: GROUP BY + COUNT/SUM matches a plain dict fold."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abc"), st.integers(min_value=0, max_value=100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_group_count_sum(self, pairs):
+        rows = [{"k": k, "v": v} for k, v in pairs]
+        expected: dict[str, tuple[int, int]] = {}
+        for k, v in pairs:
+            n, s = expected.get(k, (0, 0))
+            expected[k] = (n + 1, s + v)
+
+        env = AppEnv(small_cluster_spec(num_workers=2))
+        catalog = Catalog()
+        catalog.register("t", rows)
+        result = SQLSession(env.hamr, catalog).run(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k"
+        )
+        measured = {row["k"]: (row["n"], row["s"]) for row in result.rows}
+        assert measured == expected

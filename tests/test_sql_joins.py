@@ -1,0 +1,138 @@
+"""Tests for SQL INNER JOIN compilation and execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+from repro.sql import Catalog, SQLError, SQLSession, parse
+
+USERS = [
+    {"uid": 1, "name": "ada", "city": "london"},
+    {"uid": 2, "name": "bob", "city": "paris"},
+    {"uid": 3, "name": "cyd", "city": "london"},
+    {"uid": 4, "name": "dee", "city": "tokyo"},
+]
+ORDERS = [
+    {"oid": 100, "uid": 1, "total": 30},
+    {"oid": 101, "uid": 1, "total": 50},
+    {"oid": 102, "uid": 2, "total": 20},
+    {"oid": 103, "uid": 3, "total": 70},
+    {"oid": 104, "uid": 9, "total": 99},  # dangling user
+]
+
+
+@pytest.fixture()
+def session():
+    env = AppEnv(small_cluster_spec(num_workers=3))
+    catalog = Catalog()
+    catalog.register("users", USERS)
+    catalog.register("orders", ORDERS)
+    return SQLSession(env.hamr, catalog)
+
+
+class TestJoinParsing:
+    def test_join_clause(self):
+        q = parse("SELECT name FROM users JOIN orders ON users.uid = orders.uid")
+        assert q.join.right_table == "orders"
+        assert q.join.left_key == "uid"
+        assert q.join.right_key == "uid"
+
+    def test_inner_keyword_optional(self):
+        q = parse("SELECT name FROM users INNER JOIN orders ON orders.uid = users.uid")
+        assert q.join.right_table == "orders"
+
+    def test_condition_must_name_both_tables(self):
+        with pytest.raises(SQLError):
+            parse("SELECT name FROM users JOIN orders ON users.uid = users.uid")
+
+    def test_qualified_columns_in_select(self):
+        q = parse("SELECT users.name, orders.total FROM users JOIN orders ON users.uid = orders.uid")
+        assert q.output_names() == ["users.name", "orders.total"]
+
+
+class TestJoinExecution:
+    def test_inner_join_rows(self, session):
+        result = session.run(
+            "SELECT name, oid, total FROM users JOIN orders ON users.uid = orders.uid "
+            "ORDER BY oid"
+        )
+        assert result.rows == [
+            {"name": "ada", "oid": 100, "total": 30},
+            {"name": "ada", "oid": 101, "total": 50},
+            {"name": "bob", "oid": 102, "total": 20},
+            {"name": "cyd", "oid": 103, "total": 70},
+        ]
+
+    def test_dangling_rows_dropped(self, session):
+        result = session.run(
+            "SELECT oid FROM users JOIN orders ON users.uid = orders.uid"
+        )
+        assert 104 not in result.column("oid")
+        # user 4 (dee) has no orders and must not appear either
+        names = session.run(
+            "SELECT name FROM users JOIN orders ON users.uid = orders.uid"
+        )
+        assert "dee" not in names.column("name")
+
+    def test_qualified_disambiguation(self, session):
+        # `uid` exists in both tables -> must be qualified
+        result = session.run(
+            "SELECT users.uid AS u FROM users JOIN orders ON users.uid = orders.uid "
+            "WHERE orders.total > 40"
+        )
+        assert sorted(result.column("u")) == [1, 3]
+
+    def test_join_with_group_by(self, session):
+        result = session.run(
+            "SELECT city, COUNT(*) AS orders_n, SUM(total) AS spend "
+            "FROM users JOIN orders ON users.uid = orders.uid "
+            "GROUP BY city ORDER BY city"
+        )
+        assert result.rows == [
+            {"city": "london", "orders_n": 3, "spend": 150},
+            {"city": "paris", "orders_n": 1, "spend": 20},
+        ]
+
+    def test_join_where_filters_merged_rows(self, session):
+        result = session.run(
+            "SELECT oid FROM users JOIN orders ON users.uid = orders.uid "
+            "WHERE city = 'london' AND total >= 50 ORDER BY oid"
+        )
+        assert result.column("oid") == [101, 103]
+
+    def test_explain_shows_hash_join(self, session):
+        plan = session.explain(
+            "SELECT name FROM users JOIN orders ON users.uid = orders.uid"
+        )
+        assert "HashJoin" in plan
+        assert "JoinScan" in plan
+
+    def test_join_unknown_table(self, session):
+        with pytest.raises(SQLError):
+            session.run("SELECT a FROM users JOIN ghosts ON users.uid = ghosts.uid")
+
+
+class TestJoinOracle:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(-9, 9)), max_size=15),
+        st.lists(st.tuples(st.integers(0, 5), st.integers(-9, 9)), max_size=15),
+    )
+    def test_matches_nested_loop_join(self, left, right):
+        lrows = [{"k": k, "lv": v} for k, v in left]
+        rrows = [{"k": k, "rv": v} for k, v in right]
+        if not lrows or not rrows:
+            return
+        env = AppEnv(small_cluster_spec(num_workers=2))
+        catalog = Catalog()
+        catalog.register("l", lrows)
+        catalog.register("r", rrows)
+        result = SQLSession(env.hamr, catalog).run(
+            "SELECT lv, rv FROM l JOIN r ON l.k = r.k"
+        )
+        expected = sorted(
+            (a["lv"], b["rv"]) for a in lrows for b in rrows if a["k"] == b["k"]
+        )
+        assert sorted((row["lv"], row["rv"]) for row in result.rows) == expected

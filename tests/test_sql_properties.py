@@ -1,0 +1,129 @@
+"""Property-based tests for the SQL layer: expression evaluation against a
+Python oracle, parser round-trips, and aggregate correctness on random data."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import AppEnv
+from repro.cluster import small_cluster_spec
+from repro.sql import Catalog, SQLSession, parse
+from repro.sql.ast import BinOp, Column, Literal, Neg, Not
+
+slow_settings = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+numbers = st.integers(min_value=-50, max_value=50)
+
+
+class TestExpressionOracle:
+    """Random arithmetic/boolean expressions evaluate like Python."""
+
+    @staticmethod
+    def exprs(depth=0):
+        leaf = st.one_of(
+            numbers.map(Literal),
+            st.sampled_from(["a", "b"]).map(Column),
+        )
+        if depth >= 3:
+            return leaf
+        sub = st.deferred(lambda: TestExpressionOracle.exprs(depth + 1))
+        return st.one_of(
+            leaf,
+            st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+                lambda t: BinOp(t[0], t[1], t[2])
+            ),
+            sub.map(Neg),
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(exprs.__func__(), numbers, numbers)
+    def test_arithmetic_matches_python(self, expr, a, b):
+        row = {"a": a, "b": b}
+
+        def py_eval(e):
+            if isinstance(e, Literal):
+                return e.value
+            if isinstance(e, Column):
+                return row[e.name]
+            if isinstance(e, Neg):
+                return -py_eval(e.operand)
+            ops = {"+": lambda x, y: x + y, "-": lambda x, y: x - y, "*": lambda x, y: x * y}
+            return ops[e.op](py_eval(e.left), py_eval(e.right))
+
+        assert expr.eval(row) == py_eval(expr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(numbers, numbers)
+    def test_comparisons(self, a, b):
+        row = {"a": a, "b": b}
+        assert BinOp("<", Column("a"), Column("b")).eval(row) == (a < b)
+        assert BinOp(">=", Column("a"), Column("b")).eval(row) == (a >= b)
+        assert BinOp("=", Column("a"), Column("b")).eval(row) == (a == b)
+        assert Not(BinOp("=", Column("a"), Column("b"))).eval(row) == (a != b)
+
+
+class TestParserProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_limit_roundtrip(self, n):
+        q = parse(f"SELECT a FROM t LIMIT {n}")
+        assert q.limit == n
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="abcxyz_", min_size=1, max_size=10))
+    def test_identifier_roundtrip(self, name):
+        q = parse(f"SELECT {name} FROM t")
+        assert q.output_names() == [name]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet=st.characters(blacklist_characters="'", codec="ascii"), max_size=15))
+    def test_string_literal_roundtrip(self, s):
+        escaped = s.replace("'", "''")
+        q = parse(f"SELECT a FROM t WHERE a = '{escaped}'")
+        assert q.where.right == Literal(s)
+
+
+class TestAggregateOracle:
+    @slow_settings
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-20, 20)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_min_max_avg(self, pairs):
+        rows = [{"g": g, "v": v} for g, v in pairs]
+        env = AppEnv(small_cluster_spec(num_workers=2))
+        catalog = Catalog()
+        catalog.register("t", rows)
+        result = SQLSession(env.hamr, catalog).run(
+            "SELECT g, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS mean FROM t GROUP BY g"
+        )
+        expected: dict[int, list[int]] = {}
+        for g, v in pairs:
+            expected.setdefault(g, []).append(v)
+        assert len(result) == len(expected)
+        for row in result.rows:
+            values = expected[row["g"]]
+            assert row["lo"] == min(values)
+            assert row["hi"] == max(values)
+            assert row["mean"] == pytest.approx(sum(values) / len(values))
+
+    @slow_settings
+    @given(
+        st.lists(st.integers(-30, 30), min_size=1, max_size=30),
+        st.integers(-10, 10),
+    )
+    def test_where_equals_python_filter(self, values, threshold):
+        rows = [{"v": v} for v in values]
+        env = AppEnv(small_cluster_spec(num_workers=2))
+        catalog = Catalog()
+        catalog.register("t", rows)
+        result = SQLSession(env.hamr, catalog).run(
+            f"SELECT v FROM t WHERE v > {threshold}" if threshold >= 0
+            else f"SELECT v FROM t WHERE v > (0 - {-threshold})"
+        )
+        assert sorted(result.column("v")) == sorted(v for v in values if v > threshold)

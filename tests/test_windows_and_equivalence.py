@@ -1,0 +1,122 @@
+"""Tumbling-window streaming tests and engine-equivalence property tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import histograms
+from repro.apps.base import AppEnv
+from repro.cluster import Cluster, small_cluster_spec
+from repro.common.errors import ConfigError
+from repro.core import (
+    FlowletGraph,
+    HamrEngine,
+    Loader,
+    Map,
+    PartialReduce,
+    StreamSource,
+    TimedBatch,
+)
+from repro.core.windows import TumblingWindows
+from repro.data.movies import movie_corpus
+
+slow_settings = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestTumblingWindows:
+    def test_window_assignment(self):
+        win = TumblingWindows(width=10.0)
+        assert win.window_of(0.0) == 0
+        assert win.window_of(9.99) == 0
+        assert win.window_of(10.0) == 1
+        assert win.start(3) == 30.0
+        assert win.end(3) == 40.0
+
+    def test_origin_shift(self):
+        win = TumblingWindows(width=10.0, origin=5.0)
+        assert win.window_of(4.9) == -1
+        assert win.window_of(5.0) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            TumblingWindows(width=0)
+
+    def test_windowed_streaming_wordcount(self):
+        """Per-minute word counts over a timed stream, end to end."""
+        win = TumblingWindows(width=60.0)
+        feed = [
+            (10.0, "alpha beta"),
+            (30.0, "alpha"),
+            (70.0, "beta beta"),
+            (130.0, "alpha gamma"),
+        ]
+        batches = [
+            TimedBatch.make(t, [(t, line)]) for t, line in feed
+        ]
+        engine = HamrEngine(Cluster(small_cluster_spec(num_workers=3)))
+        graph = FlowletGraph("windowed-wc")
+        loader = graph.add(Loader("feed", StreamSource(batches, partitions=3)))
+
+        def windowed_tokenize(ctx, event_time, line):
+            for word in line.split():
+                ctx.emit(win.key(event_time, word), 1)
+
+        tok = graph.add(Map("tok", fn=windowed_tokenize))
+        count = graph.add(
+            PartialReduce("count", initial=lambda _k: 0, combine=lambda a, v: a + v)
+        )
+        graph.connect(loader, tok)
+        graph.connect(tok, count)
+        result = engine.run(graph)
+
+        by_window = win.group_output(result.output("count"))
+        assert by_window == {
+            0: {"alpha": 2, "beta": 1},
+            1: {"beta": 2},
+            2: {"alpha": 1, "gamma": 1},
+        }
+
+
+class TestEngineEquivalence:
+    """Both engines must agree with each other (and the reference) on
+    randomized histogram inputs — rating distribution included."""
+
+    @slow_settings
+    @given(
+        st.integers(min_value=10, max_value=80),
+        st.integers(min_value=0, max_value=50),
+        st.tuples(*[st.floats(min_value=0.05, max_value=1.0)] * 5).map(
+            lambda w: tuple(x / sum(w) for x in w)
+        ),
+    )
+    def test_histogram_ratings_equivalence(self, n_movies, seed, weights):
+        params = histograms.HistogramParams(
+            n_movies=n_movies, seed=seed, rating_weights=weights
+        )
+        records = histograms.generate_input(params)
+        expected = histograms.reference_ratings(records)
+        hamr = histograms.run_ratings_hamr(
+            AppEnv(small_cluster_spec(num_workers=2)), params, records
+        )
+        hadoop = histograms.run_ratings_hadoop(
+            AppEnv(small_cluster_spec(num_workers=2)), params, records
+        )
+        assert hamr.output == expected
+        assert hadoop.output == expected
+
+    @slow_settings
+    @given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=50))
+    def test_histogram_movies_equivalence(self, n_movies, seed):
+        params = histograms.HistogramParams(n_movies=n_movies, seed=seed)
+        records = histograms.generate_input(params)
+        expected = histograms.reference_movies(records)
+        hamr = histograms.run_movies_hamr(
+            AppEnv(small_cluster_spec(num_workers=3)), params, records
+        )
+        hadoop = histograms.run_movies_hadoop(
+            AppEnv(small_cluster_spec(num_workers=3)), params, records
+        )
+        assert hamr.output == expected
+        assert hadoop.output == expected
