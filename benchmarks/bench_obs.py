@@ -1,0 +1,72 @@
+"""Observability benchmark: traced Table 2 runs -> ``BENCH_obs.json``.
+
+Run::
+
+    pytest benchmarks/bench_obs.py --benchmark-only -s
+
+Every Table 2 workload runs once per engine with tracing enabled; the
+final case writes ``BENCH_obs.json`` at the repo root (override with
+``REPRO_BENCH_OBS_PATH``) holding each row's virtual seconds and blame
+buckets, so later PRs can diff where the task-seconds went — not just
+how many there were.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from conftest import run_once
+from repro.evaluation.runner import run_workload
+from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
+from repro.obs import BUCKETS
+
+BENCH_SCHEMA = "repro.obs.bench/v1"
+
+_rows: dict[str, dict] = {}  # accumulated across the parametrized cases
+
+
+def _engine_entry(tracer, virtual_seconds):
+    jobs = tracer.blame.jobs()
+    blame = (
+        tracer.blame.job_summary(jobs[0]) if jobs else {b: 0.0 for b in BUCKETS}
+    )
+    return {
+        "virtual_seconds": round(virtual_seconds, 6),
+        "blame": {bucket: round(blame[bucket], 6) for bucket in sorted(blame)},
+    }
+
+
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+def test_traced_row(benchmark, fidelity, name):
+    workload = workload_by_name(name, fidelity)
+
+    row = run_once(benchmark, lambda: run_workload(workload, obs=True))
+
+    _rows[name] = {
+        "data_size": workload.data_size,
+        "speedup": round(row.speedup, 4),
+        "hamr": _engine_entry(row.hamr_obs, row.hamr_seconds),
+        "hadoop": _engine_entry(row.hadoop_obs, row.idh_seconds),
+    }
+    benchmark.extra_info.update(
+        {
+            "hamr_seconds": round(row.hamr_seconds, 3),
+            "idh_seconds": round(row.idh_seconds, 3),
+            "hamr_blame": _rows[name]["hamr"]["blame"],
+        }
+    )
+
+
+def test_write_bench_obs_json(fidelity):
+    assert set(_rows) == set(TABLE2_ORDER), "run the full parametrized set first"
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "fidelity": fidelity,
+        "rows": {name: _rows[name] for name in TABLE2_ORDER},
+    }
+    default = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    path = pathlib.Path(os.environ.get("REPRO_BENCH_OBS_PATH", default))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")

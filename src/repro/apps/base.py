@@ -38,9 +38,10 @@ class AppEnv:
         spec: Optional[ClusterSpec] = None,
         hamr_config: Optional[HamrConfig] = None,
         hadoop_config: Optional[HadoopConfig] = None,
+        obs: bool = False,
     ):
         self.spec = spec if spec is not None else small_cluster_spec()
-        self.cluster = Cluster(self.spec)
+        self.cluster = Cluster(self.spec, obs=obs)
         self.dfs = DFS(self.cluster)
         self.localfs = LocalFS(self.cluster)
         self.kvstore = KVStore(self.cluster)
@@ -51,6 +52,11 @@ class AppEnv:
             config=hamr_config,
         )
         self.hadoop = HadoopEngine(self.cluster, self.dfs, config=hadoop_config)
+
+    @property
+    def obs(self):
+        """The cluster's observability tracer (no-op unless ``obs=True``)."""
+        return self.cluster.obs
 
     # -- ingest helpers -------------------------------------------------------------
 

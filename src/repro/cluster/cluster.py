@@ -9,6 +9,7 @@ from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.yarn import ResourceManager
 from repro.common.partitioner import HashPartitioner, Partitioner
+from repro.obs import Tracer
 from repro.sim import Simulator, Trace
 
 
@@ -19,20 +20,42 @@ class Cluster:
     1..N-1 are the workers both engines execute on. Partitions map onto
     workers round-robin, so "each node works on a portion of the whole key
     space" exactly as in the paper.
+
+    ``obs=True`` enables the unified observability layer (``self.obs``):
+    task/stall/spill spans, the metrics registry, blame attribution, and
+    per-node busy-thread time series. Disabled (the default), the tracer
+    is a pure no-op and charges nothing to wall-clock.
     """
 
-    def __init__(self, spec: ClusterSpec, sim: Simulator | None = None, trace: bool = True):
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        sim: Simulator | None = None,
+        trace: bool = True,
+        obs: bool = False,
+    ):
         self.spec = spec
         self.sim = sim if sim is not None else Simulator()
         self.trace = Trace(self.sim, enabled=trace)
+        self.obs = Tracer(self.sim, enabled=obs)
         self.nodes = [
-            Node(self.sim, node_id, spec.spec_for(node_id), spec.cost, trace=self.trace)
+            Node(
+                self.sim, node_id, spec.spec_for(node_id), spec.cost,
+                trace=self.trace, obs=self.obs,
+            )
             for node_id in range(spec.num_nodes)
         ]
         self.network = Network(
             self.sim, self.nodes, spec.cost, latency=spec.node.nic_latency
         )
         self.resource_manager = ResourceManager(self.sim, self.nodes)
+        if obs:
+            for node in self.nodes:
+                node.threads.observer = self._thread_observer(node.node_id)
+
+    def _thread_observer(self, node_id: int):
+        series = self.obs.metrics.series("threads_busy", node=node_id)
+        return series.append
 
     @property
     def master(self) -> Node:

@@ -20,6 +20,7 @@ from repro.sim.core import SimEvent
 from repro.sim.resources import StripedBandwidth
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Tracer
     from repro.sim.monitor import Trace
 
 
@@ -33,12 +34,18 @@ class Node:
         spec: NodeSpec,
         cost: CostModel,
         trace: "Trace | None" = None,
+        obs: "Tracer | None" = None,
     ):
         self.sim = sim
         self.node_id = node_id
         self.spec = spec
         self.cost = cost
         self.trace = trace
+        if obs is None:
+            from repro.obs import Tracer  # standalone nodes get a no-op tracer
+
+            obs = Tracer(sim, enabled=False)
+        self.obs = obs
         self.threads = Resource(sim, spec.worker_threads, name=f"n{node_id}.threads")
         self.memory = MemoryAccount(spec.memory, name=f"n{node_id}.memory")
         self.disk_devices = [

@@ -25,6 +25,7 @@ from repro.core.flowlet import Flowlet, FlowletKind
 from repro.core.graph import FlowletGraph
 from repro.core.runtime import NodeRuntime
 from repro.core.sources import SourceSplit
+from repro.obs import STARTUP
 from repro.storage.kvstore import KVStore
 from repro.storage.localfs import LocalFS
 
@@ -123,15 +124,20 @@ class HamrEngine:
         graph.validate()
         self._prepare(graph)
         start_time = self.cluster.sim.now
+        obs = self.cluster.obs
         done = {}
 
         def driver(sim):
             self._running = True
-            yield sim.timeout(self.cluster.cost.hamr_job_startup)
-            events = []
-            for runtime in self.runtimes:
-                events.extend(runtime.start())
-            yield sim.all_of(events)
+            with obs.span(f"job:{graph.name}", "job", job=graph.name, engine="hamr"):
+                t0 = sim.now
+                yield sim.timeout(self.cluster.cost.hamr_job_startup)
+                if obs.enabled:
+                    obs.charge(graph.name, STARTUP, sim.now - t0)
+                events = []
+                for runtime in self.runtimes:
+                    events.extend(runtime.start())
+                yield sim.all_of(events)
             done["t"] = sim.now
 
         self.cluster.sim.spawn(driver(self.cluster.sim), name=f"driver:{graph.name}")

@@ -36,6 +36,7 @@ from repro.core.context import BROADCAST_PARTITION, TaskContext
 from repro.core.flowlet import Flowlet, FlowletKind, FlowletStatus, Loader, Map, PartialReduce, Reduce
 from repro.core.graph import Edge, EdgeMode
 from repro.core.sources import SourceSplit
+from repro.obs import ATOMIC, COMPUTE, DISK, NETWORK, STALL
 from repro.sim import QueueClosed, Resource, SerializedCell, SimQueue
 from repro.sim.core import SimEvent
 from repro.storage.spill import SpillManager
@@ -167,7 +168,9 @@ class NodeRuntime:
             self.sim, engine.cluster.cost.hamr_loader_slots,
             name=f"n{self.node.node_id}.loader_slots",
         )
-        self.spill = SpillManager(self.node)
+        self.obs = self.node.obs
+        self.job = engine.graph.name if engine.graph is not None else None
+        self.spill = SpillManager(self.node, job=self.job)
         self.stalls_total = 0  # flow-control stalls by this node's tasks
         self.instances: dict[str, FlowletInstance] = {}
         for flowlet in self.graph.flowlets:
@@ -246,18 +249,26 @@ class NodeRuntime:
     def _loader_task(self, instance: FlowletInstance, split: SourceSplit, lease: ThreadLease):
         flowlet = instance.flowlet
         assert isinstance(flowlet, Loader)
+        obs, sim, node_id = self.obs, self.sim, self.node.node_id
         try:
-            reader = split.reader() if hasattr(split, "reader") else None
-            while True:
-                if reader is not None:
-                    records = yield from reader.next_chunk(self.node)
-                    if records is None:
+            with obs.span(
+                f"load:{flowlet.name}", "task", node=node_id, job=self.job,
+                flowlet=flowlet.name, split=split.split_id,
+            ):
+                reader = split.reader() if hasattr(split, "reader") else None
+                while True:
+                    t0 = sim.now
+                    if reader is not None:
+                        records = yield from reader.next_chunk(self.node)
+                        if records is None:
+                            break
+                    else:
+                        records = yield from split.read(self.node)
+                    if obs.enabled:
+                        obs.charge(self.job, DISK, sim.now - t0, node=node_id)
+                    yield from self._process_loaded(instance, records, lease)
+                    if reader is None:
                         break
-                else:
-                    records = yield from split.read(self.node)
-                yield from self._process_loaded(instance, records, lease)
-                if reader is None:
-                    break
         finally:
             lease.release()
             self.loader_slots.release()
@@ -277,9 +288,13 @@ class NodeRuntime:
                 chunk, size = [], 0
         if chunk:
             chunks.append((chunk, size))
+        obs, sim = self.obs, self.sim
         for chunk, size in chunks:
             instance.tasks_run += 1
+            t0 = sim.now
             yield self.node.record_compute(len(chunk), size, flowlet.compute_factor)
+            if obs.enabled:
+                obs.charge(self.job, COMPUTE, sim.now - t0, node=self.node.node_id)
             flowlet.load(instance.ctx, chunk)
             yield from self._drain_ctx(instance, lease)
 
@@ -324,20 +339,29 @@ class NodeRuntime:
         instance.tasks_run += 1
         instance.bins_in += 1
         instance.pairs_in += bin_.nrecords
+        obs, sim, node_id = self.obs, self.sim, self.node.node_id
+        kind = "map" if flowlet.kind is FlowletKind.MAP else "partial_reduce"
         try:
-            div = self._divisor(bin_.aggregated)
-            yield self.node.compute(self.cost.bin_overhead)
-            yield self.node.record_compute(
-                bin_.nrecords / div, bin_.nbytes / div, flowlet.compute_factor
-            )
-            if flowlet.kind is FlowletKind.MAP:
-                assert isinstance(flowlet, Map)
-                for key, value in bin_:
-                    flowlet.map(instance.ctx, key, value)
-            else:
-                assert isinstance(flowlet, PartialReduce)
-                yield from self._fold_bin(instance, flowlet, bin_)
-            yield from self._drain_ctx(instance, lease)
+            with obs.span(
+                f"{kind}:{flowlet.name}", "task", node=node_id, job=self.job,
+                flowlet=flowlet.name, nrecords=bin_.nrecords,
+            ):
+                div = self._divisor(bin_.aggregated)
+                t0 = sim.now
+                yield self.node.compute(self.cost.bin_overhead)
+                yield self.node.record_compute(
+                    bin_.nrecords / div, bin_.nbytes / div, flowlet.compute_factor
+                )
+                if obs.enabled:
+                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+                if flowlet.kind is FlowletKind.MAP:
+                    assert isinstance(flowlet, Map)
+                    for key, value in bin_:
+                        flowlet.map(instance.ctx, key, value)
+                else:
+                    assert isinstance(flowlet, PartialReduce)
+                    yield from self._fold_bin(instance, flowlet, bin_)
+                yield from self._drain_ctx(instance, lease)
         finally:
             lease.release()
 
@@ -371,11 +395,15 @@ class NodeRuntime:
         pressure = bin_.effective_records / max(1, bin_.nrecords)
         if pressure > 1.0:  # combined input: apply the calibrated relief
             pressure = max(1.0, pressure * (1.0 - self.cost.combiner_update_relief))
+        obs, sim = self.obs, self.sim
+        t0 = sim.now
         for key in sorted(touched, key=repr):
             n_updates = max(
                 1, round(touched[key] * pressure * flowlet.update_weight / in_div)
             )
             yield instance.cell_for(key).update(n_updates)
+        if obs.enabled:
+            obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id)
 
     def _spill_accumulators(self, instance: FlowletInstance, flowlet: PartialReduce, extra: int):
         # Snapshot and clear synchronously (no yields) so concurrent fold
@@ -412,9 +440,12 @@ class NodeRuntime:
             acc_div = self._divisor(flowlet.aggregated_output)
             items = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
             nbytes = sum(pair_size(k, v) for k, v in items)
+            t0 = self.sim.now
             yield self.node.record_compute(
                 len(items) / acc_div, nbytes / acc_div, flowlet.compute_factor
             )
+            if self.obs.enabled:
+                self.obs.charge(self.job, COMPUTE, self.sim.now - t0, node=self.node.node_id)
             for key, acc in items:
                 flowlet.finalize(instance.ctx, key, acc)
             resident = sum(instance.acc_bytes.values()) / acc_div
@@ -469,10 +500,13 @@ class NodeRuntime:
             instance.input_aggregated = instance.input_aggregated and bin_.aggregated
         div = self._divisor(bin_.aggregated)
         adj_bytes = bin_.nbytes / div
+        t0 = self.sim.now
         yield self.node.compute(self.cost.bin_overhead)
         yield self.node.record_compute(
             bin_.nrecords / div, adj_bytes, self.cost.reduce_collect_factor
         )
+        if self.obs.enabled:
+            self.obs.charge(self.job, COMPUTE, self.sim.now - t0, node=self.node.node_id)
         if not self.node.alloc(adj_bytes):
             yield from self._spill_groups(instance)
             if not self.node.alloc(adj_bytes):
@@ -553,18 +587,26 @@ class NodeRuntime:
         flowlet = instance.flowlet
         assert isinstance(flowlet, Reduce)
         instance.tasks_run += 1
+        obs, sim, node_id = self.obs, self.sim, self.node.node_id
         try:
-            div = self._divisor(bool(instance.input_aggregated))
-            nrecords = sum(len(instance.groups[k]) for k in keys)
-            nbytes = sum(
-                pair_size(k, v) for k in keys for v in instance.groups[k]
-            )
-            yield self.node.record_compute(
-                nrecords / div, nbytes / div, flowlet.compute_factor
-            )
-            for key in keys:
-                flowlet.reduce(instance.ctx, key, instance.groups[key])
-            yield from self._drain_ctx(instance, lease)
+            with obs.span(
+                f"reduce:{flowlet.name}", "task", node=node_id, job=self.job,
+                flowlet=flowlet.name, nkeys=len(keys),
+            ):
+                div = self._divisor(bool(instance.input_aggregated))
+                nrecords = sum(len(instance.groups[k]) for k in keys)
+                nbytes = sum(
+                    pair_size(k, v) for k in keys for v in instance.groups[k]
+                )
+                t0 = sim.now
+                yield self.node.record_compute(
+                    nrecords / div, nbytes / div, flowlet.compute_factor
+                )
+                if obs.enabled:
+                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+                for key in keys:
+                    flowlet.reduce(instance.ctx, key, instance.groups[key])
+                yield from self._drain_ctx(instance, lease)
         finally:
             lease.release()
 
@@ -573,12 +615,19 @@ class NodeRuntime:
     def _drain_ctx(self, instance: FlowletInstance, lease: Optional[ThreadLease] = None):
         """Pay deferred charges and ship sealed bins out of the context."""
         ctx = instance.ctx
+        obs, sim = self.obs, self.sim
         disk_bytes = ctx.take_deferred_disk()
         if disk_bytes:
+            t0 = sim.now
             yield self.node.disk_write(disk_bytes)
+            if obs.enabled:
+                obs.charge(self.job, DISK, sim.now - t0, node=self.node.node_id)
         updates = ctx.take_deferred_updates()
         if updates:
+            t0 = sim.now
             yield instance.cell_for("__shared__").update(updates)
+            if obs.enabled:
+                obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id)
         for bin_ in ctx.take_sealed():
             yield from self._ship(instance, bin_, lease)
         yield from self._flush_sink_output(instance)
@@ -591,19 +640,29 @@ class NodeRuntime:
         div = self._divisor(instance.flowlet.aggregated_output)
         nbytes = sum(pair_size(k, v) for k, v in pairs) / div
         if self.engine.config.charge_sink_disk:
+            obs, sim = self.obs, self.sim
+            t0 = sim.now
             yield self.node.compute(self.cost.serde_cost(nbytes))
+            t1 = sim.now
             yield self.node.disk_write(nbytes)
+            if obs.enabled:
+                obs.charge(self.job, COMPUTE, t1 - t0, node=self.node.node_id)
+                obs.charge(self.job, DISK, sim.now - t1, node=self.node.node_id)
         self.engine.collect_output(instance.flowlet.name, pairs)
 
     def _ship(self, instance: FlowletInstance, bin_: Bin, lease: Optional[ThreadLease]):
         """Send one sealed bin to its destination inbox(es), with flow control."""
         edge = self.graph.edges[bin_.edge_id]
+        obs, sim, node_id = self.obs, self.sim, self.node.node_id
         if edge.combiner is not None and self.engine.config.use_combiners:
             combined = edge.combiner.apply(bin_.pairs)
             in_div = self._divisor(bin_.aggregated)
+            t0 = sim.now
             yield self.node.record_compute(
                 bin_.nrecords / in_div, bin_.nbytes / in_div, 0.5
             )
+            if obs.enabled:
+                obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
             new_bin = Bin(
                 bin_.edge_id,
                 bin_.partition,
@@ -624,17 +683,34 @@ class NodeRuntime:
             targets = [self.engine.worker_index_of(owner)]
         # Serialization cost once (broadcast reuses the wire image).
         ship_div = self._divisor(bin_.aggregated)
+        t0 = sim.now
         yield self.node.compute(self.cost.serde_cost(bin_.nbytes / ship_div))
+        if obs.enabled:
+            obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
         if self.engine.config.stage_edges_on_disk:
+            t0 = sim.now
             yield self.node.disk_write(bin_.nbytes / ship_div)
+            if obs.enabled:
+                obs.charge(self.job, DISK, sim.now - t0, node=node_id)
         for target in targets:
             dst_runtime = self.engine.runtimes[target]
             dst_instance = dst_runtime.instance(edge.dst.name)
             if self.engine.config.stage_edges_on_disk:
+                t0 = sim.now
                 yield self.node.disk_read(bin_.nbytes / ship_div)
-            yield self.engine.cluster.network.send(
-                self.node, dst_runtime.node, bin_.nbytes / ship_div
-            )
+                if obs.enabled:
+                    obs.charge(self.job, DISK, sim.now - t0, node=node_id)
+            with obs.span(
+                "ship", "shuffle", node=node_id, job=self.job,
+                flowlet=instance.flowlet.name, dst_node=dst_runtime.node.node_id,
+                nbytes=bin_.nbytes,
+            ):
+                t0 = sim.now
+                yield self.engine.cluster.network.send(
+                    self.node, dst_runtime.node, bin_.nbytes / ship_div
+                )
+                if obs.enabled:
+                    obs.charge(self.job, NETWORK, sim.now - t0, node=node_id)
             self.engine.metrics["bins_shipped"] = self.engine.metrics.get("bins_shipped", 0) + 1
             if not dst_instance.inbox.try_put(bin_, weight=bin_.nbytes):
                 # Flow control: stop immediately, free the thread, resume later.
@@ -646,14 +722,22 @@ class NodeRuntime:
                 self.node.record_trace(
                     "flow_stall", flowlet=instance.flowlet.name, dst=edge.dst.name
                 )
-                if lease is not None and lease.held:
-                    lease.release()
-                    yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
-                    yield from self._maybe_throttle_loader(instance)
-                    yield lease.acquire()
-                else:
-                    yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
-                    yield from self._maybe_throttle_loader(instance)
+                obs.count("flow.stalls", node=node_id)
+                with obs.span(
+                    "stall", "stall", node=node_id, job=self.job,
+                    flowlet=instance.flowlet.name, dst=edge.dst.name,
+                ):
+                    t0 = sim.now
+                    if lease is not None and lease.held:
+                        lease.release()
+                        yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
+                        yield from self._maybe_throttle_loader(instance)
+                        yield lease.acquire()
+                    else:
+                        yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
+                        yield from self._maybe_throttle_loader(instance)
+                    if obs.enabled:
+                        obs.charge(self.job, STALL, sim.now - t0, node=node_id)
             else:
                 instance.stall_streak = 0
 

@@ -9,11 +9,14 @@ Usage::
     python -m repro.evaluation fig3b  [--fidelity small]
     python -m repro.evaluation all    [--fidelity small]
     python -m repro.evaluation bench NAME [--fidelity small]   # one Table 2 row
+    python -m repro.evaluation report [--workload wordcount] [--engine both]
+                                      [--json out.json] [--chrome trace.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.evaluation.figures import figure3a, figure3b
@@ -29,7 +32,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=["table1", "table2", "table3", "fig3a", "fig3b", "all", "bench"],
+        choices=["table1", "table2", "table3", "fig3a", "fig3b", "all", "bench", "report"],
     )
     parser.add_argument("name", nargs="?", help="benchmark name for `bench`")
     parser.add_argument(
@@ -38,7 +41,26 @@ def main(argv: list[str] | None = None) -> int:
         choices=["tiny", "small", "medium"],
         help="real-data budget (small = reference; see DESIGN.md §7)",
     )
+    parser.add_argument(
+        "--workload",
+        default="wordcount",
+        choices=TABLE2_ORDER,
+        help="workload for `report`",
+    )
+    parser.add_argument(
+        "--engine",
+        default="both",
+        choices=["both", "hamr", "hadoop"],
+        help="engine(s) to trace for `report`",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the report as JSON")
+    parser.add_argument(
+        "--chrome", metavar="PATH", help="write a Chrome/Perfetto trace-event file"
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "report":
+        return _report(args)
 
     if args.artifact == "table1":
         print(table1())
@@ -83,6 +105,50 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact in ("fig3b", "all"):
         rows = result.rows if result is not None else None
         print(figure3b(args.fidelity, rows=rows).rendered)
+    return 0
+
+
+def _report(args) -> int:
+    """Run one traced workload and print/export the observability report."""
+    from repro.evaluation.obsreport import render_report, report_dict
+
+    row = run_workload(
+        workload_by_name(args.workload, args.fidelity), engines=args.engine, obs=True
+    )
+    traced = [
+        (engine, tracer)
+        for engine, tracer in (("hamr", row.hamr_obs), ("hadoop", row.hadoop_obs))
+        if tracer is not None
+    ]
+    for engine, tracer in traced:
+        makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
+        print(
+            render_report(
+                tracer,
+                title=f"== {row.label} ({row.data_size}) on {engine} — "
+                f"makespan {makespan:.3f}s ==",
+            )
+        )
+        print()
+    if args.json:
+        payload = {
+            "schema": "repro.obs.report/v1",
+            "workload": args.workload,
+            "engines": {
+                engine: report_dict(tracer, args.workload, engine)
+                for engine, tracer in traced
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.chrome:
+        # one merged trace file; engines run on separate virtual clusters,
+        # so export the first traced engine (use --engine to pick).
+        engine, tracer = traced[0]
+        with open(args.chrome, "w") as fh:
+            json.dump(tracer.to_chrome_trace(), fh, sort_keys=True)
+        print(f"wrote {args.chrome} ({engine} run)", file=sys.stderr)
     return 0
 
 

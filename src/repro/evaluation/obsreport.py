@@ -1,0 +1,197 @@
+"""Observability reports: per-node Gantt, blame breakdown, utilization.
+
+Renders one engine run's :class:`~repro.obs.Tracer` as the paper-style
+diagnostic the driver prints for ``python -m repro.evaluation report``:
+where every node's threads were busy over virtual time, where each job's
+task-seconds went (the §5.2 stall/atomic pathology shows up here), how
+much was spilled, and how often flow control kicked in.
+
+All output is deterministic — two identical runs render byte-identical
+reports and serialize byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.evaluation.report import render_table
+from repro.obs import BUCKETS, Span, Tracer, assign_lanes
+
+REPORT_SCHEMA = "repro.obs.report/v1"
+
+#: glyph per task-span name prefix, in legend order
+_GLYPHS = (
+    ("load", "L"),
+    ("map", "M"),
+    ("partial_reduce", "P"),
+    ("reduce", "R"),
+    ("spill", "s"),
+    ("stall", "~"),
+)
+
+
+def _glyph(name: str) -> str:
+    for prefix, glyph in _GLYPHS:
+        if name.startswith(prefix):
+            return glyph
+    return "#"
+
+
+def render_gantt(
+    tracer: Tracer,
+    width: int = 72,
+    cats: tuple[str, ...] = ("task", "stall", "spill"),
+    max_lanes_per_node: int = 6,
+) -> str:
+    """ASCII per-node Gantt: one row per concurrently-busy lane.
+
+    Lanes come from the same greedy assignment as the Chrome trace's
+    ``tid``s, so the two views agree on concurrency structure.
+    """
+    spans = [
+        s for s in tracer.finished_spans() if s.cat in cats and s.node is not None
+    ]
+    if not spans:
+        return "(no task spans recorded — was the run traced?)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    extent = max(t1 - t0, 1e-12)
+    lanes = assign_lanes(spans)
+    by_node: dict[int, dict[int, list[Span]]] = {}
+    for span in spans:
+        by_node.setdefault(span.node, {}).setdefault(lanes[span.span_id], []).append(span)
+
+    legend = "  ".join(f"{glyph}={prefix}" for prefix, glyph in _GLYPHS)
+    lines = [
+        f"Task timeline, virtual time {t0:.3f}s .. {t1:.3f}s  ({legend})",
+    ]
+    for node in sorted(by_node):
+        node_lanes = sorted(by_node[node])
+        for lane in node_lanes[:max_lanes_per_node]:
+            row = [" "] * width
+            for span in by_node[node][lane]:
+                a = int((span.start - t0) / extent * (width - 1))
+                b = int((span.end - t0) / extent * (width - 1))
+                glyph = _glyph(span.name)
+                for i in range(a, b + 1):
+                    row[i] = glyph
+            lines.append(f"  n{node:<3}|{''.join(row)}|")
+        hidden = len(node_lanes) - max_lanes_per_node
+        if hidden > 0:
+            lines.append(f"  n{node:<3}... {hidden} more lane(s) not shown")
+    return "\n".join(lines)
+
+
+def render_blame(tracer: Tracer) -> str:
+    """Per-job blame table: task-seconds and share per bucket."""
+    jobs = tracer.blame.jobs()
+    if not jobs:
+        return "(no blame charges recorded)"
+    sections = []
+    for job in jobs:
+        total = tracer.blame.job_total(job)
+        summary = tracer.blame.job_summary(job)
+        rows = [
+            [bucket, summary[bucket], 100.0 * summary[bucket] / total if total else 0.0]
+            for bucket in BUCKETS
+        ]
+        rows.append(["total", total, 100.0 if total else 0.0])
+        sections.append(
+            render_table(
+                ["bucket", "task-seconds", "share %"],
+                rows,
+                title=f"Blame — job {job!r}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_utilization(tracer: Tracer) -> str:
+    """Per-node worker-thread utilization from the ``threads_busy`` series."""
+    series_by_node = {
+        dict(key).get("node"): ts
+        for key, ts in tracer.metrics._series.get("threads_busy", {}).items()
+    }
+    nodes = sorted(n for n in series_by_node if n is not None)
+    if not nodes:
+        return "(no thread-utilization series recorded)"
+    end = tracer.sim.now
+    rows = []
+    for node in nodes:
+        points = series_by_node[node].points
+        busy_integral = 0.0
+        peak = 0.0
+        prev_t, prev_v = 0.0, 0.0
+        for t, v in points:
+            busy_integral += prev_v * (t - prev_t)
+            prev_t, prev_v = t, v
+            peak = max(peak, v)
+        busy_integral += prev_v * (end - prev_t)
+        mean = busy_integral / end if end > 0 else 0.0
+        rows.append([f"n{node}", mean, int(peak)])
+    return render_table(
+        ["node", "mean busy threads", "peak"], rows, title="Thread utilization"
+    )
+
+
+def render_counters(tracer: Tracer) -> str:
+    """Spill / DFS-locality / flow-control counter summary."""
+    metrics = tracer.metrics
+    rows = []
+    for name, label in (
+        ("spill.runs", "spill runs"),
+        ("spill.bytes", "bytes spilled"),
+        ("spill.bytes_read_back", "spill bytes read back"),
+        ("dfs.local_reads", "DFS local block reads"),
+        ("dfs.remote_reads", "DFS remote block reads"),
+        ("flow.stalls", "flow-control stalls"),
+    ):
+        total = metrics.counter_total(name)
+        if total:
+            rows.append([label, int(total)])
+    if not rows:
+        return "(no spill / locality / stall events recorded)"
+    return render_table(["event", "count"], rows, title="Spill, locality and flow control")
+
+
+def render_report(tracer: Tracer, title: str = "") -> str:
+    """The full ASCII observability report for one traced run."""
+    parts = [title] if title else []
+    parts.append(render_gantt(tracer))
+    parts.append(render_blame(tracer))
+    parts.append(render_utilization(tracer))
+    parts.append(render_counters(tracer))
+    return "\n\n".join(parts)
+
+
+def report_dict(tracer: Tracer, workload: str, engine: str) -> dict:
+    """Deterministic JSON-serializable report (schema ``repro.obs.report/v1``)."""
+    spans = tracer.finished_spans()
+    return {
+        "schema": REPORT_SCHEMA,
+        "workload": workload,
+        "engine": engine,
+        "virtual_end": tracer.sim.now,
+        "blame": tracer.blame.snapshot(),
+        "counters": {
+            name: tracer.metrics.counter_total(name)
+            for name in tracer.metrics.names()
+            if tracer.metrics._counters.get(name)
+        },
+        "span_counts": _span_counts(spans),
+        "trace": tracer.to_dict(),
+    }
+
+
+def report_json(
+    tracer: Tracer, workload: str, engine: str, indent: Optional[int] = None
+) -> str:
+    return json.dumps(report_dict(tracer, workload, engine), sort_keys=True, indent=indent)
+
+
+def _span_counts(spans: list[Span]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for span in spans:
+        counts[span.cat] = counts.get(span.cat, 0) + 1
+    return dict(sorted(counts.items()))

@@ -6,15 +6,21 @@ from typing import Optional, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
-    """A plain fixed-width table (right-aligns numbers, left-aligns text)."""
-    cells = [[_fmt(c) for c in row] for row in rows]
+    """A plain fixed-width table (right-aligns numbers, left-aligns text).
+
+    Ragged rows are padded with empty cells to the header width; extra
+    cells beyond the headers are dropped.
+    """
+    ncols = len(headers)
+    padded = [list(row[:ncols]) + [""] * (ncols - len(row)) for row in rows]
+    cells = [[_fmt(c) for c in row] for row in padded]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
-        for i in range(len(headers))
+        for i in range(ncols)
     ]
     numeric = [
-        all(_is_number(row[i]) for row in rows) if rows else False
-        for i in range(len(headers))
+        all(_is_number(row[i]) for row in padded) if padded else False
+        for i in range(ncols)
     ]
 
     def fmt_row(row: Sequence[str]) -> str:
@@ -38,10 +44,16 @@ def render_bars(
     width: int = 40,
     baseline: Optional[float] = 1.0,
 ) -> str:
-    """Horizontal bar chart of (label, value); a '|' marks the baseline."""
+    """Horizontal bar chart of (label, value); a '|' marks the baseline.
+
+    Zero and negative values render as empty bars (the numeric value is
+    still printed), so degenerate series never divide by zero.
+    """
     if not series:
         return title
     peak = max(max(v for _l, v in series), baseline or 0.0)
+    if peak <= 0:
+        peak = 1.0  # all values non-positive: render empty bars
     label_width = max(len(label) for label, _v in series)
     lines = [title] if title else []
     for label, value in series:

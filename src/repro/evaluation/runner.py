@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.base import AppResult
 from repro.evaluation.paper import PAPER_TABLE2, PaperRow, SHAPE_BANDS
 from repro.evaluation.workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Tracer
 
 
 @dataclass
@@ -22,6 +25,9 @@ class BenchmarkRow:
     paper: Optional[PaperRow] = None
     hamr_result: Optional[AppResult] = field(default=None, repr=False)
     hadoop_result: Optional[AppResult] = field(default=None, repr=False)
+    #: observability tracers of the two runs (None unless ``obs=True``)
+    hamr_obs: "Optional[Tracer]" = field(default=None, repr=False)
+    hadoop_obs: "Optional[Tracer]" = field(default=None, repr=False)
 
     @property
     def speedup(self) -> float:
@@ -40,17 +46,23 @@ class BenchmarkRow:
         return lo <= self.speedup <= hi
 
 
-def run_workload(workload: Workload, engines: str = "both") -> BenchmarkRow:
+def run_workload(workload: Workload, engines: str = "both", obs: bool = False) -> BenchmarkRow:
     """Run a workload on fresh environments and assemble its row.
 
     ``engines`` may be ``"both"``, ``"hamr"`` or ``"hadoop"`` (missing
-    engine columns are reported as 0).
+    engine columns are reported as 0). With ``obs=True`` each run keeps
+    its observability tracer on the row (``hamr_obs`` / ``hadoop_obs``).
     """
     hamr_result = hadoop_result = None
+    hamr_obs = hadoop_obs = None
     if engines in ("both", "hamr"):
-        hamr_result = workload.run_hamr(workload.fresh_env(), workload.params, workload.records)
+        env = workload.fresh_env(obs=obs)
+        hamr_result = workload.run_hamr(env, workload.params, workload.records)
+        hamr_obs = env.obs if obs else None
     if engines in ("both", "hadoop"):
-        hadoop_result = workload.run_hadoop(workload.fresh_env(), workload.params, workload.records)
+        env = workload.fresh_env(obs=obs)
+        hadoop_result = workload.run_hadoop(env, workload.params, workload.records)
+        hadoop_obs = env.obs if obs else None
     return BenchmarkRow(
         name=workload.name,
         label=workload.label,
@@ -60,4 +72,6 @@ def run_workload(workload: Workload, engines: str = "both") -> BenchmarkRow:
         paper=PAPER_TABLE2.get(workload.name),
         hamr_result=hamr_result,
         hadoop_result=hadoop_result,
+        hamr_obs=hamr_obs,
+        hadoop_obs=hadoop_obs,
     )

@@ -51,8 +51,8 @@ class Workload:
         """The paper's 16-node cluster with this workload's scale factor."""
         return paper_cluster_spec(scale=self.scale)
 
-    def fresh_env(self) -> AppEnv:
-        return AppEnv(self.spec())
+    def fresh_env(self, obs: bool = False) -> AppEnv:
+        return AppEnv(self.spec(), obs=obs)
 
 
 def _finish(workload: Workload) -> Workload:

@@ -29,6 +29,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.memory import MemoryAccount
 from repro.cluster.placement import assign_splits
 from repro.mapreduce.api import MRContext, MRJob
+from repro.obs import COMPUTE, DISK, NETWORK, STARTUP
 from repro.sim import Resource
 from repro.sim.core import SimEvent
 from repro.storage.dfs import DFS
@@ -103,6 +104,7 @@ class HadoopEngine:
         self.cost = cluster.cost
         self.config = config or HadoopConfig()
         self.num_workers = cluster.num_workers
+        self.obs = cluster.obs
         self._job_seq = 0
 
     # -- public API ---------------------------------------------------------------
@@ -143,9 +145,17 @@ class HadoopEngine:
     # -- job lifecycle ----------------------------------------------------------------
 
     def _run_job(self, job: MRJob, state: dict):
+        with self.obs.span(f"job:{job.name}", "job", job=job.name, engine="hadoop"):
+            yield from self._run_job_body(job, state)
+
+    def _run_job_body(self, job: MRJob, state: dict):
         sim = self.cluster.sim
         cost = self.cost
+        obs = self.obs
+        t0 = sim.now
         yield sim.timeout(cost.hadoop_job_startup)
+        if obs.enabled:
+            obs.charge(job.name, STARTUP, sim.now - t0)
 
         splits = self.dfs.splits(job.input_file)
         num_reducers = job.num_reducers or self.num_workers
@@ -313,6 +323,7 @@ class HadoopEngine:
     ):
         sim = self.cluster.sim
         cost = self.cost
+        obs = self.obs
         in_div = cost.scale if job.aggregated_input else 1.0
         out_div = cost.scale if out.aggregated else 1.0
         yield slot.acquire()
@@ -321,61 +332,78 @@ class HadoopEngine:
                 return True
             if out.started_at is None:
                 out.started_at = sim.now
-            yield sim.timeout(cost.hadoop_task_startup)  # container/JVM launch
-            records = yield from self.dfs.read_block(split.block, node, cost_divisor=in_div)
-            ctx = MRContext()
-            yield node.record_compute(
-                split.nrecords / in_div, split.nbytes / in_div, job.mapper.compute_factor
-            )
-            if fail:
-                # the attempt dies after burning its input read and compute
-                return False
-            for record in records:
-                key, value = record
-                job.mapper.map(ctx, key, value)
-            pairs = ctx.take()
-            self._merge_counters(state, ctx)
+            with obs.span(
+                "map", "task", node=node.node_id, job=job.name,
+                block=split.block.block_id, backup=backup,
+            ):
+                t0 = sim.now
+                yield sim.timeout(cost.hadoop_task_startup)  # container/JVM launch
+                if obs.enabled:
+                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id)
+                records = yield from self.dfs.read_block(
+                    split.block, node, cost_divisor=in_div, job=job.name
+                )
+                ctx = MRContext()
+                t0 = sim.now
+                yield node.record_compute(
+                    split.nrecords / in_div, split.nbytes / in_div, job.mapper.compute_factor
+                )
+                if obs.enabled:
+                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id)
+                if fail:
+                    # the attempt dies after burning its input read and compute
+                    return False
+                for record in records:
+                    key, value = record
+                    job.mapper.map(ctx, key, value)
+                pairs = ctx.take()
+                self._merge_counters(state, ctx)
 
-            # Partition, sort, optionally combine — then materialize on disk.
-            by_partition: dict[int, list] = {}
-            for key, value in pairs:
-                by_partition.setdefault(partitioner.partition(key), []).append((key, value))
-            total_bytes = 0
-            total_records = 0
-            for p, plist in by_partition.items():
-                plist.sort(key=lambda kv: repr(kv[0]))
-                if job.combiner is not None:
-                    plist = job.combiner.apply(plist)
-                nbytes = sum(pair_size(k, v) for k, v in plist)
-                out.partitions[p] = (plist, nbytes)
-                total_bytes += nbytes
-                total_records += len(plist)
-            # Sort CPU over the pre-combine volume, spill count from buffer size.
-            raw_bytes = sum(pair_size(k, v) for k, v in pairs)
-            yield node.record_compute(
-                len(pairs) / in_div, raw_bytes / in_div, cost.hadoop_sort_factor
-            )
-            num_spills = max(
-                1, int(cost.scaled_bytes(raw_bytes / in_div) // cost.hadoop_sort_buffer) + 1
-            ) if raw_bytes else 1
-            yield node.compute(cost.serde_cost(total_bytes / out_div))
-            yield node.disk_write(total_bytes / out_div)
-            if num_spills > 1:
-                # Extra merge pass: read the spills back, write merged output.
-                state["metrics"]["map_spill_merges"] = (
-                    state["metrics"].get("map_spill_merges", 0) + 1
+                # Partition, sort, optionally combine — then materialize on disk.
+                by_partition: dict[int, list] = {}
+                for key, value in pairs:
+                    by_partition.setdefault(partitioner.partition(key), []).append((key, value))
+                total_bytes = 0
+                total_records = 0
+                for p, plist in by_partition.items():
+                    plist.sort(key=lambda kv: repr(kv[0]))
+                    if job.combiner is not None:
+                        plist = job.combiner.apply(plist)
+                    nbytes = sum(pair_size(k, v) for k, v in plist)
+                    out.partitions[p] = (plist, nbytes)
+                    total_bytes += nbytes
+                    total_records += len(plist)
+                # Sort CPU over the pre-combine volume, spill count from buffer size.
+                raw_bytes = sum(pair_size(k, v) for k, v in pairs)
+                t0 = sim.now
+                yield node.record_compute(
+                    len(pairs) / in_div, raw_bytes / in_div, cost.hadoop_sort_factor
                 )
-                yield node.disk_read(total_bytes / out_div)
+                num_spills = max(
+                    1, int(cost.scaled_bytes(raw_bytes / in_div) // cost.hadoop_sort_buffer) + 1
+                ) if raw_bytes else 1
+                yield node.compute(cost.serde_cost(total_bytes / out_div))
+                t1 = sim.now
                 yield node.disk_write(total_bytes / out_div)
-            if out.done.triggered:
-                return True  # lost the race; the winner's output stands
-            if backup:
-                state["metrics"]["speculative_wins"] = (
-                    state["metrics"].get("speculative_wins", 0) + 1
-                )
-            out.node = node  # reducers fetch from the winning attempt's disk
-            out.done.trigger()
-            return True
+                if num_spills > 1:
+                    # Extra merge pass: read the spills back, write merged output.
+                    state["metrics"]["map_spill_merges"] = (
+                        state["metrics"].get("map_spill_merges", 0) + 1
+                    )
+                    yield node.disk_read(total_bytes / out_div)
+                    yield node.disk_write(total_bytes / out_div)
+                if obs.enabled:
+                    obs.charge(job.name, COMPUTE, t1 - t0, node=node.node_id)
+                    obs.charge(job.name, DISK, sim.now - t1, node=node.node_id)
+                if out.done.triggered:
+                    return True  # lost the race; the winner's output stands
+                if backup:
+                    state["metrics"]["speculative_wins"] = (
+                        state["metrics"].get("speculative_wins", 0) + 1
+                    )
+                out.node = node  # reducers fetch from the winning attempt's disk
+                out.done.trigger()
+                return True
         finally:
             slot.release()
 
@@ -384,97 +412,115 @@ class HadoopEngine:
     def _reduce_task(self, job: MRJob, r: int, node, slot: Resource, map_outputs: list, state: dict):
         sim = self.cluster.sim
         cost = self.cost
+        obs = self.obs
         yield slot.acquire()
         try:
-            yield sim.timeout(cost.hadoop_task_startup)
-            # Fetched data lands in this reduce task's container heap (a
-            # ~1 GB JVM, not the whole node) — overflowing it spills to
-            # local disk and pays a read-back at merge time.
-            heap = MemoryAccount(
-                cost.hadoop_reduce_memory, name=f"{job.name}.r{r}.heap"
-            )
-            spill = SpillManager(node)
-            segments: list[list] = []
-            resident_bytes = 0  # bytes in `segments` (for merge accounting)
-            accounted_bytes = 0  # bytes charged against the task heap
-            spill_runs = []
-            shuffled_bytes = 0
-            for out in map_outputs:
-                yield out.done
-                pairs, raw_nbytes = out.partitions[r]
-                if not pairs:
-                    continue
-                nbytes = raw_nbytes / (cost.scale if out.aggregated else 1.0)
-                yield out.node.disk_read(nbytes)
-                yield self.cluster.network.send(out.node, node, nbytes)
-                shuffled_bytes += nbytes
-                scaled = cost.scaled_bytes(nbytes)
-                if not heap.allocate(scaled):
-                    if segments:
-                        merged = []
-                        for seg in segments:
-                            merged.extend(seg)
-                        merged.sort(key=lambda kv: repr(kv[0]))
-                        run = yield from spill.spill(merged, sorted_by_key=True, free_memory=False)
-                        spill_runs.append(run)
-                        heap.free(accounted_bytes)
-                        segments, resident_bytes, accounted_bytes = [], 0, 0
-                        state["metrics"]["reduce_spills"] = (
-                            state["metrics"].get("reduce_spills", 0) + 1
-                        )
-                    if heap.allocate(scaled):
+            with obs.span("reduce", "task", node=node.node_id, job=job.name, reducer=r):
+                t0 = sim.now
+                yield sim.timeout(cost.hadoop_task_startup)
+                if obs.enabled:
+                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id)
+                # Fetched data lands in this reduce task's container heap (a
+                # ~1 GB JVM, not the whole node) — overflowing it spills to
+                # local disk and pays a read-back at merge time.
+                heap = MemoryAccount(
+                    cost.hadoop_reduce_memory, name=f"{job.name}.r{r}.heap"
+                )
+                spill = SpillManager(node, job=job.name)
+                segments: list[list] = []
+                resident_bytes = 0  # bytes in `segments` (for merge accounting)
+                accounted_bytes = 0  # bytes charged against the task heap
+                spill_runs = []
+                shuffled_bytes = 0
+                for out in map_outputs:
+                    yield out.done
+                    pairs, raw_nbytes = out.partitions[r]
+                    if not pairs:
+                        continue
+                    nbytes = raw_nbytes / (cost.scale if out.aggregated else 1.0)
+                    with obs.span(
+                        "fetch", "shuffle", node=node.node_id, job=job.name,
+                        src_node=out.node.node_id, nbytes=int(nbytes),
+                    ):
+                        t0 = sim.now
+                        yield out.node.disk_read(nbytes)
+                        t1 = sim.now
+                        yield self.cluster.network.send(out.node, node, nbytes)
+                        if obs.enabled:
+                            obs.charge(job.name, DISK, t1 - t0, node=node.node_id)
+                            obs.charge(job.name, NETWORK, sim.now - t1, node=node.node_id)
+                    shuffled_bytes += nbytes
+                    scaled = cost.scaled_bytes(nbytes)
+                    if not heap.allocate(scaled):
+                        if segments:
+                            merged = []
+                            for seg in segments:
+                                merged.extend(seg)
+                            merged.sort(key=lambda kv: repr(kv[0]))
+                            run = yield from spill.spill(merged, sorted_by_key=True, free_memory=False)
+                            spill_runs.append(run)
+                            heap.free(accounted_bytes)
+                            segments, resident_bytes, accounted_bytes = [], 0, 0
+                            state["metrics"]["reduce_spills"] = (
+                                state["metrics"].get("reduce_spills", 0) + 1
+                            )
+                        if heap.allocate(scaled):
+                            accounted_bytes += scaled
+                        # else: a single segment over budget — held uncharged,
+                        # modeling the JVM running right at its heap ceiling
+                    else:
                         accounted_bytes += scaled
-                    # else: a single segment over budget — held uncharged,
-                    # modeling the JVM running right at its heap ceiling
-                else:
-                    accounted_bytes += scaled
-                segments.append(pairs)
-                resident_bytes += nbytes
-            state["metrics"]["shuffled_bytes"] = (
-                state["metrics"].get("shuffled_bytes", 0) + shuffled_bytes
-            )
+                    segments.append(pairs)
+                    resident_bytes += nbytes
+                state["metrics"]["shuffled_bytes"] = (
+                    state["metrics"].get("shuffled_bytes", 0) + shuffled_bytes
+                )
 
-            # BARRIER passed: merge phase. Any aggregated segment means the
-            # whole fetched volume is key-space-bounded.
-            merge_div = cost.scale if any(o.aggregated for o in map_outputs) else 1.0
-            groups: dict[Any, list] = {}
-            merge_records = 0
-            merge_bytes = 0
-            for run in spill_runs:
-                pairs = yield from spill.read_back(run)
-                spill.free(run)
-                for key, value in pairs:
-                    groups.setdefault(key, []).append(value)
-                    merge_records += 1
-                merge_bytes += run.nbytes
-            for seg in segments:
-                for key, value in seg:
-                    groups.setdefault(key, []).append(value)
-                    merge_records += 1
-            merge_bytes += resident_bytes
-            yield node.record_compute(
-                merge_records / merge_div, merge_bytes / merge_div, cost.hadoop_sort_factor
-            )
+                # BARRIER passed: merge phase. Any aggregated segment means the
+                # whole fetched volume is key-space-bounded.
+                merge_div = cost.scale if any(o.aggregated for o in map_outputs) else 1.0
+                groups: dict[Any, list] = {}
+                merge_records = 0
+                merge_bytes = 0
+                for run in spill_runs:
+                    pairs = yield from spill.read_back(run)
+                    spill.free(run)
+                    for key, value in pairs:
+                        groups.setdefault(key, []).append(value)
+                        merge_records += 1
+                    merge_bytes += run.nbytes
+                for seg in segments:
+                    for key, value in seg:
+                        groups.setdefault(key, []).append(value)
+                        merge_records += 1
+                merge_bytes += resident_bytes
+                t0 = sim.now
+                yield node.record_compute(
+                    merge_records / merge_div, merge_bytes / merge_div, cost.hadoop_sort_factor
+                )
 
-            ctx = MRContext()
-            yield node.record_compute(
-                merge_records / merge_div, merge_bytes / merge_div, job.reducer.compute_factor
-            )
-            for key in sorted(groups, key=repr):
-                job.reducer.reduce(ctx, key, groups[key])
-            output_pairs = ctx.take()
-            self._merge_counters(state, ctx)
-            if accounted_bytes:
-                heap.free(accounted_bytes)
+                ctx = MRContext()
+                yield node.record_compute(
+                    merge_records / merge_div, merge_bytes / merge_div, job.reducer.compute_factor
+                )
+                if obs.enabled:
+                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id)
+                for key in sorted(groups, key=repr):
+                    job.reducer.reduce(ctx, key, groups[key])
+                output_pairs = ctx.take()
+                self._merge_counters(state, ctx)
+                if accounted_bytes:
+                    heap.free(accounted_bytes)
 
-            part_name = f"{job.output_file}/part-{r:05d}"
-            yield from self.dfs.write(
-                part_name, output_pairs, node,
-                cost_divisor=cost.scale if job.aggregated_output else 1.0,
-            )
-            if self.config.collect_outputs:
-                state["outputs"].extend(output_pairs)
-            return part_name
+                part_name = f"{job.output_file}/part-{r:05d}"
+                yield from self.dfs.write(
+                    part_name, output_pairs, node,
+                    cost_divisor=cost.scale if job.aggregated_output else 1.0,
+                    job=job.name,
+                )
+                if self.config.collect_outputs:
+                    state["outputs"].extend(output_pairs)
+                return part_name
         finally:
             slot.release()
 

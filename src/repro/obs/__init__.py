@@ -1,0 +1,46 @@
+"""Unified observability: span tracing, metrics, and blame attribution.
+
+The :class:`Tracer` is the single handle threaded through the stack
+(``cluster.obs``). See ``spans.py`` for tracing, ``metrics.py`` for the
+registry, and ``blame.py`` for the virtual-seconds decomposition that
+explains each job's makespan.
+"""
+
+from repro.obs.blame import (
+    ATOMIC,
+    BUCKETS,
+    COMPUTE,
+    DISK,
+    NETWORK,
+    STALL,
+    STARTUP,
+    BlameLedger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.spans import NULL_SPAN, Span, Tracer, assign_lanes
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "assign_lanes",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "BlameLedger",
+    "BUCKETS",
+    "COMPUTE",
+    "DISK",
+    "NETWORK",
+    "STALL",
+    "ATOMIC",
+    "STARTUP",
+]

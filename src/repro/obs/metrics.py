@@ -1,0 +1,191 @@
+"""The metrics registry: counters, gauges, virtual-time histograms, series.
+
+Both engines and the substrate report into one :class:`MetricsRegistry`
+(held by the tracer). Metrics are identified by a name plus a sorted label
+set, e.g. ``registry.counter("dfs.local_reads", node=3)``. Everything is
+deterministic: snapshots iterate metrics and labels in sorted order, so two
+identical runs serialize to byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Optional, Sequence, Tuple
+
+#: default virtual-seconds histogram bucket upper bounds
+DEFAULT_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0)
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, records)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, resident bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (virtual-time durations).
+
+    ``bounds`` are inclusive upper edges; observations above the last bound
+    land in an implicit overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class TimeSeries:
+    """(virtual time, value) samples, e.g. a node's busy-thread count."""
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: list[tuple[float, float]] = []
+
+    def append(self, time: float, value: float) -> None:
+        # Collapse same-instant updates: keep the latest value per time.
+        if self.points and self.points[-1][0] == time:
+            self.points[-1] = (time, value)
+        else:
+            self.points.append((time, value))
+
+    def value_at(self, time: float) -> float:
+        """The most recent sample at or before ``time`` (0.0 before any)."""
+        value = 0.0
+        for t, v in self.points:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def snapshot(self) -> list[list[float]]:
+        return [[t, v] for t, v in self.points]
+
+
+class MetricsRegistry:
+    """A flat namespace of labelled metrics.
+
+    Accessors create on first use, so reporting sites never pre-register.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[LabelKey, Counter]] = {}
+        self._gauges: dict[str, dict[LabelKey, Gauge]] = {}
+        self._histograms: dict[str, dict[LabelKey, Histogram]] = {}
+        self._series: dict[str, dict[LabelKey, TimeSeries]] = {}
+
+    @staticmethod
+    def _key(labels: dict) -> LabelKey:
+        return tuple(sorted(labels.items()))
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(name, {}).setdefault(self._key(labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(name, {}).setdefault(self._key(labels), Gauge())
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None, **labels: Any
+    ) -> Histogram:
+        family = self._histograms.setdefault(name, {})
+        key = self._key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Histogram(bounds or DEFAULT_BOUNDS)
+        return metric
+
+    def series(self, name: str, **labels: Any) -> TimeSeries:
+        return self._series.setdefault(name, {}).setdefault(self._key(labels), TimeSeries())
+
+    # -- aggregation -----------------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter family over all label sets."""
+        return sum(c.value for c in self._counters.get(name, {}).values())
+
+    def counter_by(self, name: str, label: str) -> dict[Any, float]:
+        """Counter family aggregated by one label (missing label -> None)."""
+        out: dict[Any, float] = {}
+        for key, counter in self._counters.get(name, {}).items():
+            value = dict(key).get(label)
+            out[value] = out.get(value, 0.0) + counter.value
+        return out
+
+    def names(self) -> list[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges)
+            | set(self._histograms) | set(self._series)
+        )
+
+    def snapshot(self) -> dict:
+        """A deterministic, JSON-serializable dump of every metric."""
+
+        def family(metrics: dict[str, dict[LabelKey, Any]]) -> dict:
+            return {
+                name: [
+                    {"labels": dict(key), "value": metric.snapshot()}
+                    for key, metric in sorted(values.items(), key=lambda kv: repr(kv[0]))
+                ]
+                for name, values in sorted(metrics.items())
+            }
+
+        return {
+            "counters": family(self._counters),
+            "gauges": family(self._gauges),
+            "histograms": family(self._histograms),
+            "series": family(self._series),
+        }

@@ -1,0 +1,308 @@
+"""Span-based tracing over virtual time.
+
+A :class:`Span` brackets one activity on the virtual clock — a loader /
+map / partial-reduce / reduce task, a spill, a shuffle transfer, a
+flow-control stall — with node / flowlet / job attribution and
+parent-child links. The :class:`Tracer` is the single observability
+handle threaded through the stack: it owns the spans, the
+:class:`~repro.obs.metrics.MetricsRegistry` and the
+:class:`~repro.obs.blame.BlameLedger`.
+
+Tracing is opt-out cheap: a disabled tracer records no spans, no metrics
+and no blame — every entry point returns immediately (``span()`` hands
+back a shared no-op span), so the benchmark harnesses pay no measurable
+overhead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.obs.blame import BlameLedger
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class Span:
+    """One attributed interval of virtual time.
+
+    Usable as a context manager inside simulation generator-processes:
+    the body's ``yield``s advance the virtual clock, and ``__exit__``
+    reads the clock again — no wall time is involved anywhere.
+    """
+
+    __slots__ = (
+        "tracer", "span_id", "name", "cat", "start", "end",
+        "node", "job", "flowlet", "parent_id", "args",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        name: str,
+        cat: str,
+        start: float,
+        node: Optional[int] = None,
+        job: Optional[str] = None,
+        flowlet: Optional[str] = None,
+        parent_id: Optional[int] = None,
+        args: Optional[dict] = None,
+    ):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end: Optional[float] = None
+        self.node = node
+        self.job = job
+        self.flowlet = flowlet
+        self.parent_id = parent_id
+        self.args = args or {}
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def child(self, name: str, cat: Optional[str] = None, **args: Any) -> "Span":
+        """Open a child span inheriting this span's attribution."""
+        return self.tracer.span(
+            name,
+            cat if cat is not None else self.cat,
+            node=self.node,
+            job=self.job,
+            flowlet=self.flowlet,
+            parent=self,
+            **args,
+        )
+
+    def finish(self, **args: Any) -> "Span":
+        if self.end is not None:
+            raise ValueError(f"span {self.name!r} finished twice")
+        self.end = self.tracer.sim.now
+        if args:
+            self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self.end is None:
+            self.finish()
+            if exc_type is not None:
+                self.args["error"] = exc_type.__name__
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "name": self.name,
+            "cat": self.cat,
+            "start": self.start,
+            "end": self.end,
+            "node": self.node,
+            "job": self.job,
+            "flowlet": self.flowlet,
+            "parent": self.parent_id,
+            "args": {k: self.args[k] for k in sorted(self.args)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end:g}" if self.end is not None else "..."
+        return f"<Span {self.cat}:{self.name} [{self.start:g}, {end}]>"
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out (a shared singleton)."""
+
+    __slots__ = ()
+
+    name = ""
+    cat = ""
+    node = None
+    job = None
+    flowlet = None
+    open = False
+
+    def child(self, _name: str, _cat: Optional[str] = None, **_args: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, **_args: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """The unified observability handle: spans + metrics + blame.
+
+    One tracer per cluster; both engines and the substrate report into it.
+    ``enabled=False`` (the default) turns every recording call into an
+    immediate no-op.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = False):
+        self.sim = sim
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.metrics = MetricsRegistry()
+        self.blame = BlameLedger()
+        self._next_id = 0
+
+    # -- spans -----------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        node: Optional[int] = None,
+        job: Optional[str] = None,
+        flowlet: Optional[str] = None,
+        parent: Optional[Span] = None,
+        **args: Any,
+    ):
+        """Open a span at the current virtual time; close via ``with`` or
+        ``finish()``."""
+        if not self.enabled:
+            return NULL_SPAN
+        self._next_id += 1
+        span = Span(
+            self,
+            self._next_id,
+            name,
+            cat,
+            self.sim.now,
+            node=node,
+            job=job,
+            flowlet=flowlet,
+            parent_id=parent.span_id if isinstance(parent, Span) else None,
+            args=args or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def finished_spans(self, cat: Optional[str] = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if s.end is not None and (cat is None or s.cat == cat)
+        ]
+
+    # -- blame -----------------------------------------------------------------
+
+    def charge(
+        self, job: str, bucket: str, seconds: float, node: Optional[int] = None
+    ) -> None:
+        """Attribute ``seconds`` of a task's waiting to a blame bucket."""
+        if not self.enabled:
+            return
+        self.blame.charge(job, bucket, seconds, node=node)
+
+    # -- metrics convenience (no-ops when disabled) ------------------------------
+
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.histogram(name, **labels).observe(value)
+
+    def sample(self, name: str, value: float, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.series(name, **labels).append(self.sim.now, value)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-serializable dump of the whole trace."""
+        return {
+            "schema": "repro.obs.trace/v1",
+            "spans": [s.to_dict() for s in self.spans],
+            "metrics": self.metrics.snapshot(),
+            "blame": self.blame.snapshot(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def to_chrome_trace(self, time_unit: float = 1e6) -> dict:
+        """Chrome ``chrome://tracing`` / Perfetto trace-event JSON.
+
+        Finished spans become complete ``"X"`` events sorted by timestamp
+        (``ts`` monotone). ``pid`` is the node id, ``tid`` a per-node lane
+        such that overlapping spans never share a row. Virtual seconds map
+        to trace microseconds via ``time_unit``.
+        """
+        spans = sorted(
+            self.finished_spans(), key=lambda s: (s.start, s.span_id)
+        )
+        lanes = assign_lanes(spans)
+        events = []
+        for span in spans:
+            # pid -1 for node-less spans matches assign_lanes' keying, so
+            # they can never collide with a real node's lanes.
+            pid = span.node if span.node is not None else -1
+            args = {"job": span.job, "flowlet": span.flowlet}
+            args.update({k: span.args[k] for k in sorted(span.args)})
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    # integer microseconds, dur from the rounded endpoints:
+                    # rounding is monotone and the arithmetic exact, so spans
+                    # that don't overlap in virtual time can't overlap here
+                    # (float scaling is off by an ulp exactly often enough).
+                    "ts": round(span.start * time_unit),
+                    "dur": round(span.end * time_unit) - round(span.start * time_unit),
+                    "pid": pid,
+                    "tid": lanes[span.span_id],
+                    "args": {k: v for k, v in args.items() if v is not None},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def assign_lanes(spans: list[Span]) -> dict[int, int]:
+    """Greedy per-node lane assignment: span id -> first free lane index.
+
+    Two spans on the same node overlap iff they share a lane's time range;
+    the greedy first-fit over start-ordered spans guarantees overlapping
+    spans get distinct lanes (used for both Chrome ``tid``s and the ASCII
+    Gantt rows).
+    """
+    lanes: dict[int, int] = {}
+    busy_until: dict[int, list[float]] = {}  # node -> per-lane last end time
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        node = span.node if span.node is not None else -1
+        node_lanes = busy_until.setdefault(node, [])
+        for index, end in enumerate(node_lanes):
+            if end <= span.start:
+                node_lanes[index] = span.end
+                lanes[span.span_id] = index
+                break
+        else:
+            node_lanes.append(span.end)
+            lanes[span.span_id] = len(node_lanes) - 1
+    return lanes

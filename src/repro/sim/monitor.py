@@ -53,7 +53,13 @@ class UtilizationMeter:
     time-integral of busy slots divided by ``capacity * elapsed``.
     """
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = "meter"):
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int,
+        name: str = "meter",
+        record_series: bool = False,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim
@@ -62,16 +68,30 @@ class UtilizationMeter:
         self._busy = 0
         self._integral = 0.0
         self._last = 0.0
+        #: optional (time, busy) time series for observability reports
+        self.record_series = record_series
+        self.series: list[tuple[float, int]] = []
 
     def enter(self, n: int = 1) -> None:
         self._advance()
         self._busy += n
+        self._sample()
 
     def leave(self, n: int = 1) -> None:
         self._advance()
         if n > self._busy:
             raise ValueError(f"{self.name}: leave({n}) with busy={self._busy}")
         self._busy -= n
+        self._sample()
+
+    def _sample(self) -> None:
+        if not self.record_series:
+            return
+        now = self.sim.now
+        if self.series and self.series[-1][0] == now:
+            self.series[-1] = (now, self._busy)
+        else:
+            self.series.append((now, self._busy))
 
     def _advance(self) -> None:
         self._integral += self._busy * (self.sim.now - self._last)

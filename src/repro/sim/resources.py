@@ -43,6 +43,9 @@ class Resource:
         self.total_acquired = 0
         self._busy_integral = 0.0
         self._last_change = 0.0
+        #: optional observability hook, called as ``observer(now, in_use)``
+        #: after every occupancy change (None keeps the fast path free)
+        self.observer = None
 
     def acquire(self, n: int = 1) -> SimEvent:
         if n <= 0 or n > self.capacity:
@@ -62,6 +65,8 @@ class Resource:
         self._account()
         self.in_use -= n
         self._dispatch()
+        if self.observer is not None:
+            self.observer(self.sim.now, self.in_use)
 
     @property
     def available(self) -> int:
@@ -87,6 +92,8 @@ class Resource:
             self._account()
             self.in_use += n
             self.total_acquired += n
+            if self.observer is not None:
+                self.observer(self.sim.now, self.in_use)
             event.trigger(n)
 
     def _account(self) -> None:

@@ -60,7 +60,7 @@ class Column(Expr):
         return {self.name}
 
     def __str__(self) -> str:
-        return self.name
+        return quote_identifier(self.name)
 
 
 _BINARY_OPS = {
@@ -137,6 +137,28 @@ class Neg(Expr):
 
 
 AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+#: every word the lexer treats as a keyword (identifiers colliding with
+#: these must be quoted when rendering SQL back out)
+RESERVED_WORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "AS", "AND", "OR", "NOT", "ASC", "DESC", "TRUE", "FALSE", "NULL",
+        "JOIN", "INNER", "ON",
+    }
+    | set(AGGREGATE_FUNCS)
+)
+
+
+def is_reserved(name: str) -> bool:
+    return name.upper() in RESERVED_WORDS
+
+
+def quote_identifier(name: str) -> str:
+    """Render ``name`` so the parser reads it back as the same identifier."""
+    if is_reserved(name):
+        return '"' + name.replace('"', '""') + '"'
+    return name
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.sql.ast import (
     AGGREGATE_FUNCS,
+    RESERVED_WORDS,
     AggregateCall,
     BinOp,
     Column,
@@ -46,25 +47,25 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<number>\d+\.\d+|\d+)
   | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"(?:[^"]|"")*")
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<op><=|>=|!=|<>|[=<>+\-*/%(),.])
     """,
     re.VERBOSE,
 )
 
-_KEYWORDS = {
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
-    "AS", "AND", "OR", "NOT", "ASC", "DESC", "TRUE", "FALSE", "NULL",
-    "JOIN", "INNER", "ON",
-}
+#: keywords safe to reuse as identifiers: they can never start a clause or
+#: an expression, so no parse position is ambiguous
+_SOFT_KEYWORDS = frozenset({"BY", "ASC", "DESC"})
 
 
 class _Token:
-    __slots__ = ("kind", "value")
+    __slots__ = ("kind", "value", "text")
 
-    def __init__(self, kind: str, value):
+    def __init__(self, kind: str, value, text: str = ""):
         self.kind = kind  # "number" | "string" | "ident" | "kw" | "op" | "eof"
         self.value = value
+        self.text = text  # original spelling (keywords keep their case here)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.kind}:{self.value}>"
@@ -86,10 +87,15 @@ def _lex(text: str) -> list[_Token]:
             tokens.append(_Token("number", float(value) if "." in value else int(value)))
         elif kind == "string":
             tokens.append(_Token("string", value[1:-1].replace("''", "'")))
+        elif kind == "qident":
+            name = value[1:-1].replace('""', '"')
+            if not name:
+                raise SQLError("empty quoted identifier")
+            tokens.append(_Token("ident", name))
         elif kind == "ident":
             upper = value.upper()
-            if upper in _KEYWORDS or upper in AGGREGATE_FUNCS:
-                tokens.append(_Token("kw", upper))
+            if upper in RESERVED_WORDS:
+                tokens.append(_Token("kw", upper, text=value))
             else:
                 tokens.append(_Token("ident", value))
         else:
@@ -127,6 +133,23 @@ class _Parser:
             raise SQLError(f"expected {want!r}, found {self.current.value!r}")
         return token
 
+    def accept_ident(self) -> Optional[str]:
+        """An identifier, allowing soft keywords (e.g. a column named ``by``)."""
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return token.value
+        if token.kind == "kw" and token.value in _SOFT_KEYWORDS:
+            self.advance()
+            return token.text
+        return None
+
+    def expect_ident(self) -> str:
+        name = self.accept_ident()
+        if name is None:
+            raise SQLError(f"expected identifier, found {self.current.value!r}")
+        return name
+
     # -- grammar ----------------------------------------------------------------
 
     def parse_query(self) -> Query:
@@ -135,7 +158,7 @@ class _Parser:
         while self.accept("op", ","):
             select.append(self.parse_select_item())
         self.expect("kw", "FROM")
-        table = self.expect("ident").value
+        table = self.expect_ident()
         join = None
         if self.accept("kw", "INNER"):
             self.expect("kw", "JOIN")
@@ -180,7 +203,7 @@ class _Parser:
         )
 
     def parse_join(self, left_table: str) -> "JoinClause":
-        right_table = self.expect("ident").value
+        right_table = self.expect_ident()
         self.expect("kw", "ON")
         first = self.parse_qualified()
         self.expect("op", "=")
@@ -197,23 +220,23 @@ class _Parser:
         )
 
     def parse_qualified(self) -> tuple[str, str]:
-        table = self.expect("ident").value
+        table = self.expect_ident()
         self.expect("op", ".")
-        column = self.expect("ident").value
+        column = self.expect_ident()
         return table, column
 
     def parse_select_item(self) -> SelectItem:
         expr = self.parse_expr()
         alias = None
         if self.accept("kw", "AS"):
-            alias = self.expect("ident").value
+            alias = self.expect_ident()
         return SelectItem(expr, alias)
 
     def parse_name(self) -> str:
         """A column name, optionally table-qualified (``t.col``)."""
-        name = self.expect("ident").value
+        name = self.expect_ident()
         if self.accept("op", "."):
-            name = f"{name}.{self.expect('ident').value}"
+            name = f"{name}.{self.expect_ident()}"
         return name
 
     def parse_order_item(self) -> OrderItem:
@@ -296,12 +319,11 @@ class _Parser:
                 arg = self.parse_expr()
             self.expect("op", ")")
             return AggregateCall(func, arg)
-        if token.kind == "ident":
-            self.advance()
+        name = self.accept_ident()
+        if name is not None:
             if self.accept("op", "."):
-                column = self.expect("ident").value
-                return Column(f"{token.value}.{column}")
-            return Column(token.value)
+                return Column(f"{name}.{self.expect_ident()}")
+            return Column(name)
         if self.accept("op", "("):
             expr = self.parse_expr()
             self.expect("op", ")")

@@ -21,6 +21,7 @@ from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
+from repro.obs import DISK, NETWORK
 
 
 @dataclass
@@ -146,7 +147,7 @@ class DFS:
 
     # -- charged operations (simulation processes: spawn or yield them) ---------
 
-    def read_block(self, block: Block, reader: Node, cost_divisor: float = 1.0):
+    def read_block(self, block: Block, reader: Node, cost_divisor: float = 1.0, job: str | None = None):
         """Process: read one block at ``reader``, local if it holds a replica.
 
         Returns the block's records. A remote read charges the replica
@@ -156,15 +157,26 @@ class DFS:
         """
         nbytes = block.nbytes / cost_divisor
         self.bytes_read += int(self.cost.scaled_bytes(nbytes))
+        obs, sim = reader.obs, reader.sim
         if reader.node_id in block.replica_nodes:
+            obs.count("dfs.local_reads", node=reader.node_id)
+            t0 = sim.now
             yield reader.disk_read(nbytes)
+            if obs.enabled and job is not None:
+                obs.charge(job, DISK, sim.now - t0, node=reader.node_id)
         else:
+            obs.count("dfs.remote_reads", node=reader.node_id)
             holder = self._node_by_id(block.replica_nodes[0])
+            t0 = sim.now
             yield holder.disk_read(nbytes)
+            t1 = sim.now
             yield self.cluster.network.send(holder, reader, nbytes)
+            if obs.enabled and job is not None:
+                obs.charge(job, DISK, t1 - t0, node=reader.node_id)
+                obs.charge(job, NETWORK, sim.now - t1, node=reader.node_id)
         return block.records
 
-    def write(self, name: str, records: Sequence[Any], writer: Node, cost_divisor: float = 1.0):
+    def write(self, name: str, records: Sequence[Any], writer: Node, cost_divisor: float = 1.0, job: str | None = None):
         """Process: write a new file from ``writer``, with pipelined replication.
 
         Charges: local disk write for the first replica, plus a network send
@@ -183,10 +195,10 @@ class DFS:
             block_records.append(record)
             block_bytes += self._record_size(record)
             if self.cost.scaled_bytes(block_bytes / cost_divisor) >= self.cost.hdfs_block_size:
-                yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor)
+                yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor, job)
                 block_records, block_bytes = [], 0
         if block_records or not file.blocks:
-            yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor)
+            yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor, job)
         return file
 
     def _write_block(
@@ -196,6 +208,7 @@ class DFS:
         nbytes: int,
         writer: Node,
         cost_divisor: float = 1.0,
+        job: str | None = None,
     ):
         charge_bytes = nbytes / cost_divisor
         replicas = self._place_replicas()
@@ -211,6 +224,8 @@ class DFS:
         self.bytes_written += int(self.cost.scaled_bytes(charge_bytes)) * len(replicas)
 
         first = self._node_by_id(replicas[0])
+        obs, sim = writer.obs, self.cluster.sim
+        t0 = sim.now
         events = [first.disk_write(charge_bytes)]
         previous = first
         for node_id in replicas[1:]:
@@ -219,6 +234,14 @@ class DFS:
             events.append(node.disk_write(charge_bytes))
             previous = node
         yield self.cluster.sim.all_of(events)
+        if obs.enabled:
+            obs.count("dfs.blocks_written", node=writer.node_id)
+            obs.count("dfs.replica_bytes", int(charge_bytes) * len(replicas), node=writer.node_id)
+            if job is not None:
+                # The write pipeline overlaps replica disk writes with the
+                # inter-replica sends; the critical path is disk-bound, so
+                # the elapsed wait is blamed to DISK.
+                obs.charge(job, DISK, sim.now - t0, node=writer.node_id)
         file.blocks.append(block)
 
     def concat(self, name: str, part_names: Sequence[str]) -> DistributedFile:

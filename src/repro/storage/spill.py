@@ -15,6 +15,7 @@ from typing import Any, Iterable, Sequence
 from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
 from repro.cluster.node import Node
+from repro.obs import COMPUTE, DISK
 
 
 @dataclass
@@ -36,12 +37,14 @@ class SpillRun:
 class SpillManager:
     """Creates, reads back and frees spill runs on one node's disks."""
 
-    def __init__(self, node: Node, record_size_fn=logical_sizeof):
+    def __init__(self, node: Node, record_size_fn=logical_sizeof, job: str | None = None):
         self.node = node
         self.cost = node.cost
         self._next_id = 0
         self._live: dict[int, SpillRun] = {}
         self._record_size = record_size_fn
+        #: blame/span attribution for charges this manager makes
+        self.job = job
         # Metrics (scaled bytes)
         self.bytes_spilled = 0
         self.bytes_read_back = 0
@@ -61,8 +64,17 @@ class SpillManager:
         self._live[run.run_id] = run
         self.runs_created += 1
         self.bytes_spilled += int(self.cost.scaled_bytes(nbytes))
-        yield self.node.compute(self.cost.serde_cost(nbytes))
-        yield self.node.disk_write(nbytes)
+        obs, sim, node_id = self.node.obs, self.node.sim, self.node.node_id
+        with obs.span("spill", "spill", node=node_id, job=self.job, nbytes=nbytes):
+            t0 = sim.now
+            yield self.node.compute(self.cost.serde_cost(nbytes))
+            t1 = sim.now
+            yield self.node.disk_write(nbytes)
+            if obs.enabled and self.job is not None:
+                obs.charge(self.job, COMPUTE, t1 - t0, node=node_id)
+                obs.charge(self.job, DISK, sim.now - t1, node=node_id)
+        obs.count("spill.runs", node=node_id)
+        obs.count("spill.bytes", nbytes, node=node_id)
         if free_memory:
             self.node.free(nbytes)
         self.node.record_trace("spill", nbytes=nbytes, run_id=run.run_id)
@@ -81,8 +93,18 @@ class SpillManager:
                 f"run {run.run_id} lives on node {run.node_id}, not {self.node.node_id}"
             )
         self.bytes_read_back += int(self.cost.scaled_bytes(run.nbytes))
-        yield self.node.disk_read(run.nbytes)
-        yield self.node.compute(self.cost.serde_cost(run.nbytes))
+        obs, sim, node_id = self.node.obs, self.node.sim, self.node.node_id
+        with obs.span(
+            "spill.read_back", "spill", node=node_id, job=self.job, nbytes=run.nbytes
+        ):
+            t0 = sim.now
+            yield self.node.disk_read(run.nbytes)
+            t1 = sim.now
+            yield self.node.compute(self.cost.serde_cost(run.nbytes))
+            if obs.enabled and self.job is not None:
+                obs.charge(self.job, DISK, t1 - t0, node=node_id)
+                obs.charge(self.job, COMPUTE, sim.now - t1, node=node_id)
+        obs.count("spill.bytes_read_back", run.nbytes, node=node_id)
         if reacquire_memory:
             self.node.alloc(run.nbytes)
         return list(run.records)

@@ -120,6 +120,33 @@ class TestReportRendering:
     def test_render_bars_empty(self):
         assert render_bars([], title="empty") == "empty"
 
+    def test_render_table_pads_ragged_rows(self):
+        text = render_table(("A", "B"), [[], ["x"], ["x", "y", "extra"]])
+        lines = text.splitlines()
+        assert len(lines) == 5  # header, separator, three rows
+        assert "extra" not in text  # cells beyond the headers are dropped
+
+    def test_render_table_all_empty_rows(self):
+        text = render_table(("A", "B"), [[], []])
+        assert "A" in text and "B" in text
+
+    def test_render_bars_all_zero(self):
+        text = render_bars([("x", 0.0), ("y", 0.0)], baseline=None)
+        assert "#" not in text
+        assert "0.00" in text
+
+    def test_render_bars_negative_values(self):
+        text = render_bars([("neg", -3.0), ("pos", 2.0)])
+        lines = text.splitlines()
+        assert "#" not in lines[0]  # negative renders an empty bar
+        assert "#" in lines[1]
+        assert "-3.00" in lines[0]
+
+    def test_render_bars_all_negative_no_baseline(self):
+        text = render_bars([("a", -1.0), ("b", -2.0)], baseline=None)
+        assert "#" not in text
+        assert "-1.00" in text and "-2.00" in text
+
 
 @pytest.mark.slow
 class TestShapeReproduction:
