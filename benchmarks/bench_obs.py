@@ -1,72 +1,178 @@
 """Observability benchmark: traced Table 2 runs -> ``BENCH_obs.json``.
 
-Run::
+Run under pytest-benchmark::
 
     pytest benchmarks/bench_obs.py --benchmark-only -s
+    pytest benchmarks/bench_obs.py --benchmark-only -s \
+        --workloads wordcount,naive_bayes --engines hamr
 
-Every Table 2 workload runs once per engine with tracing enabled; the
-final case writes ``BENCH_obs.json`` at the repo root (override with
-``REPRO_BENCH_OBS_PATH``) holding each row's virtual seconds and blame
-buckets, so later PRs can diff where the task-seconds went — not just
-how many there were.
+or as a plain script (no pytest-benchmark needed — what the CI
+perf-regression gate uses)::
+
+    python benchmarks/bench_obs.py --fidelity small --out BENCH_obs.json
+    python benchmarks/bench_obs.py --workloads wordcount,naive_bayes
+
+Every selected Table 2 workload runs once per engine with tracing
+enabled; the artifact (schema ``repro.obs.bench/v2``) holds each row's
+virtual seconds, blame buckets and critical-path rollup, so later runs
+can be diffed with ``python -m repro.evaluation diff`` — where the
+task-seconds went, not just how many there were.
+
+``REPRO_OBS_SLOWDOWN=workload=factor`` scales one workload's recorded
+virtual seconds — a seeded synthetic regression for validating that the
+CI gate actually fails on drift.
 """
 
+import argparse
 import json
 import os
 import pathlib
+import sys
 
 import pytest
 
-from conftest import run_once
 from repro.evaluation.runner import run_workload
 from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 from repro.obs import BUCKETS
+from repro.obs.critpath import from_tracer
 
-BENCH_SCHEMA = "repro.obs.bench/v1"
+BENCH_SCHEMA = "repro.obs.bench/v2"
 
 _rows: dict[str, dict] = {}  # accumulated across the parametrized cases
 
 
+def _synthetic_slowdown() -> tuple[str, float]:
+    """Parse ``REPRO_OBS_SLOWDOWN=workload=factor`` (gate validation)."""
+    raw = os.environ.get("REPRO_OBS_SLOWDOWN", "")
+    if not raw:
+        return "", 1.0
+    workload, _, factor = raw.partition("=")
+    try:
+        return workload, float(factor)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_OBS_SLOWDOWN must be 'workload=factor', got {raw!r}"
+        ) from None
+
+
 def _engine_entry(tracer, virtual_seconds):
-    jobs = tracer.blame.jobs()
+    jobs = tracer.blame.jobs() if tracer is not None else []
     blame = (
         tracer.blame.job_summary(jobs[0]) if jobs else {b: 0.0 for b in BUCKETS}
     )
+    critpath = from_tracer(tracer).rollup if tracer is not None else {}
     return {
         "virtual_seconds": round(virtual_seconds, 6),
         "blame": {bucket: round(blame[bucket], 6) for bucket in sorted(blame)},
+        "critpath": {key: round(sec, 6) for key, sec in sorted(critpath.items())},
     }
+
+
+def run_row(name: str, fidelity: str, engines: str = "both") -> dict:
+    """Run one traced workload row and build its artifact entry."""
+    workload = workload_by_name(name, fidelity)
+    row = run_workload(workload, engines=engines, obs=True)
+    slow_name, slow_factor = _synthetic_slowdown()
+    factor = slow_factor if name == slow_name else 1.0
+    entry = {
+        "data_size": workload.data_size,
+        "speedup": round(row.speedup, 4) if engines == "both" else None,
+    }
+    if engines in ("both", "hamr"):
+        entry["hamr"] = _engine_entry(row.hamr_obs, row.hamr_seconds * factor)
+    if engines in ("both", "hadoop"):
+        entry["hadoop"] = _engine_entry(row.hadoop_obs, row.idh_seconds * factor)
+    return entry
+
+
+def build_payload(rows: dict[str, dict], fidelity: str) -> dict:
+    ordered = [name for name in TABLE2_ORDER if name in rows]
+    return {
+        "schema": BENCH_SCHEMA,
+        "fidelity": fidelity,
+        "rows": {name: rows[name] for name in ordered},
+    }
+
+
+def _default_path() -> pathlib.Path:
+    default = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    return pathlib.Path(os.environ.get("REPRO_BENCH_OBS_PATH", default))
+
+
+def write_payload(payload: dict, path: pathlib.Path) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# -- pytest-benchmark harness -----------------------------------------------------
 
 
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_traced_row(benchmark, fidelity, name):
-    workload = workload_by_name(name, fidelity)
+def test_traced_row(benchmark, fidelity, workloads_filter, engines_filter, name):
+    if workloads_filter and name not in workloads_filter:
+        pytest.skip(f"{name} not in --workloads filter")
+    from conftest import run_once
 
-    row = run_once(benchmark, lambda: run_workload(workload, obs=True))
+    engines = engines_filter or "both"
+    entry = run_once(benchmark, lambda: run_row(name, fidelity, engines))
 
-    _rows[name] = {
-        "data_size": workload.data_size,
-        "speedup": round(row.speedup, 4),
-        "hamr": _engine_entry(row.hamr_obs, row.hamr_seconds),
-        "hadoop": _engine_entry(row.hadoop_obs, row.idh_seconds),
-    }
-    benchmark.extra_info.update(
-        {
-            "hamr_seconds": round(row.hamr_seconds, 3),
-            "idh_seconds": round(row.idh_seconds, 3),
-            "hamr_blame": _rows[name]["hamr"]["blame"],
-        }
-    )
+    _rows[name] = entry
+    extra = {}
+    if "hamr" in entry:
+        extra["hamr_seconds"] = entry["hamr"]["virtual_seconds"]
+        extra["hamr_blame"] = entry["hamr"]["blame"]
+    if "hadoop" in entry:
+        extra["idh_seconds"] = entry["hadoop"]["virtual_seconds"]
+    benchmark.extra_info.update(extra)
 
 
-def test_write_bench_obs_json(fidelity):
+def test_write_bench_obs_json(fidelity, workloads_filter, engines_filter):
+    if workloads_filter or engines_filter:
+        pytest.skip("filtered run — not writing the full baseline artifact")
     assert set(_rows) == set(TABLE2_ORDER), "run the full parametrized set first"
-    payload = {
-        "schema": BENCH_SCHEMA,
-        "fidelity": fidelity,
-        "rows": {name: _rows[name] for name in TABLE2_ORDER},
-    }
-    default = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
-    path = pathlib.Path(os.environ.get("REPRO_BENCH_OBS_PATH", default))
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path = _default_path()
+    write_payload(build_payload(_rows, fidelity), path)
     print(f"\nwrote {path}")
+
+
+# -- plain-script mode (CI perf gate: no pytest-benchmark required) ---------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Traced Table 2 bench artifact (repro.obs.bench/v2)."
+    )
+    parser.add_argument(
+        "--fidelity",
+        default=os.environ.get("REPRO_FIDELITY", "small"),
+        choices=["tiny", "small", "medium"],
+    )
+    parser.add_argument(
+        "--workloads",
+        default="",
+        help="comma-separated subset of Table 2 workloads (default: all)",
+    )
+    parser.add_argument(
+        "--engines", default="both", choices=["both", "hamr", "hadoop"]
+    )
+    parser.add_argument(
+        "--out", default=str(_default_path()), help="artifact output path"
+    )
+    args = parser.parse_args(argv)
+
+    selected = [w for w in args.workloads.split(",") if w] or list(TABLE2_ORDER)
+    unknown = sorted(set(selected) - set(TABLE2_ORDER))
+    if unknown:
+        parser.error(f"unknown workloads {unknown}; pick from {TABLE2_ORDER}")
+
+    rows = {}
+    for name in selected:
+        print(f"  running {name} ({args.fidelity}, {args.engines}) ...", file=sys.stderr)
+        rows[name] = run_row(name, args.fidelity, args.engines)
+    path = pathlib.Path(args.out)
+    write_payload(build_payload(rows, args.fidelity), path)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,34 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workloads",
+        default="",
+        help="comma-separated workload subset for bench_obs (default: all)",
+    )
+    parser.addoption(
+        "--engines",
+        default="",
+        choices=["", "both", "hamr", "hadoop"],
+        help="engine filter for bench_obs (default: both)",
+    )
+
+
 @pytest.fixture(scope="session")
 def fidelity() -> str:
     return os.environ.get("REPRO_FIDELITY", "small")
+
+
+@pytest.fixture(scope="session")
+def workloads_filter(request) -> frozenset:
+    raw = request.config.getoption("--workloads")
+    return frozenset(w for w in raw.split(",") if w)
+
+
+@pytest.fixture(scope="session")
+def engines_filter(request) -> str:
+    return request.config.getoption("--engines")
 
 
 def run_once(benchmark, fn):

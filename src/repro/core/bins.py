@@ -33,6 +33,9 @@ class Bin:
     #: records — Table 3's finding is that combining shrinks shuffle volume
     #: but not the serialized accumulator path.
     represents: int = 0
+    #: id of the ship span that delivered this bin (0 when untraced); the
+    #: consuming task emits a shuffle producer -> consumer causal edge
+    trace_src: int = 0
 
     @property
     def effective_records(self) -> int:

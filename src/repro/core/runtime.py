@@ -36,7 +36,17 @@ from repro.core.context import BROADCAST_PARTITION, TaskContext
 from repro.core.flowlet import Flowlet, FlowletKind, FlowletStatus, Loader, Map, PartialReduce, Reduce
 from repro.core.graph import Edge, EdgeMode
 from repro.core.sources import SourceSplit
-from repro.obs import ATOMIC, COMPUTE, DISK, NETWORK, STALL
+from repro.obs import (
+    ATOMIC,
+    COMPUTE,
+    DISK,
+    EDGE_BARRIER,
+    EDGE_PRODUCE,
+    EDGE_SHUFFLE,
+    EDGE_STALL,
+    NETWORK,
+    STALL,
+)
 from repro.sim import QueueClosed, Resource, SerializedCell, SimQueue
 from repro.sim.core import SimEvent
 from repro.storage.spill import SpillManager
@@ -126,6 +136,11 @@ class FlowletInstance:
         self.pairs_in = 0
         self.stalls = 0
         self.stall_streak = 0  # consecutive stalls feeding the adaptive throttle
+        # Trace bookkeeping (span ids; 0 = none/untraced): the last task
+        # span that finished on this instance, and the last reduce-collect
+        # span — barrier edges for finalize/reduce hang off these.
+        self.last_task_span_id = 0
+        self.last_collect_span_id = 0
 
     # -- completion bookkeeping --------------------------------------------------
 
@@ -172,6 +187,10 @@ class NodeRuntime:
         self.job = engine.graph.name if engine.graph is not None else None
         self.spill = SpillManager(self.node, job=self.job)
         self.stalls_total = 0  # flow-control stalls by this node's tasks
+        # Last task span finished on this node (0 = none): stalled
+        # producers blame their wait on the consumer node's most recent
+        # task — the one whose completion freed inbox space.
+        self.last_task_span_id = 0
         self.instances: dict[str, FlowletInstance] = {}
         for flowlet in self.graph.flowlets:
             capacity = self._inbox_capacity(flowlet)
@@ -254,7 +273,7 @@ class NodeRuntime:
             with obs.span(
                 f"load:{flowlet.name}", "task", node=node_id, job=self.job,
                 flowlet=flowlet.name, split=split.split_id,
-            ):
+            ) as lspan:
                 reader = split.reader() if hasattr(split, "reader") else None
                 while True:
                     t0 = sim.now
@@ -265,15 +284,16 @@ class NodeRuntime:
                     else:
                         records = yield from split.read(self.node)
                     if obs.enabled:
-                        obs.charge(self.job, DISK, sim.now - t0, node=node_id)
-                    yield from self._process_loaded(instance, records, lease)
+                        obs.charge(self.job, DISK, sim.now - t0, node=node_id, span=lspan)
+                    yield from self._process_loaded(instance, records, lease, lspan)
                     if reader is None:
                         break
+            self._note_task_done(instance, lspan)
         finally:
             lease.release()
             self.loader_slots.release()
 
-    def _process_loaded(self, instance: FlowletInstance, records: list, lease: ThreadLease):
+    def _process_loaded(self, instance: FlowletInstance, records: list, lease: ThreadLease, span=None):
         """Run loader user code chunk-by-chunk so output pipelines finely."""
         flowlet = instance.flowlet
         chunk_bytes = self.engine.config.loader_chunk_bytes
@@ -294,9 +314,9 @@ class NodeRuntime:
             t0 = sim.now
             yield self.node.record_compute(len(chunk), size, flowlet.compute_factor)
             if obs.enabled:
-                obs.charge(self.job, COMPUTE, sim.now - t0, node=self.node.node_id)
+                obs.charge(self.job, COMPUTE, sim.now - t0, node=self.node.node_id, span=span)
             flowlet.load(instance.ctx, chunk)
-            yield from self._drain_ctx(instance, lease)
+            yield from self._drain_ctx(instance, lease, span)
 
     # -- map / partial reduce -----------------------------------------------------------
 
@@ -345,7 +365,12 @@ class NodeRuntime:
             with obs.span(
                 f"{kind}:{flowlet.name}", "task", node=node_id, job=self.job,
                 flowlet=flowlet.name, nrecords=bin_.nrecords,
-            ):
+            ) as tspan:
+                obs.edge(bin_.trace_src, tspan, EDGE_SHUFFLE)
+                # Thread wait-for: the task whose completion freed the
+                # worker thread this task queued on. The walk only follows
+                # it when it is the binding constraint (latest cut).
+                obs.edge(self.last_task_span_id, tspan, EDGE_STALL)
                 div = self._divisor(bin_.aggregated)
                 t0 = sim.now
                 yield self.node.compute(self.cost.bin_overhead)
@@ -353,19 +378,20 @@ class NodeRuntime:
                     bin_.nrecords / div, bin_.nbytes / div, flowlet.compute_factor
                 )
                 if obs.enabled:
-                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=tspan)
                 if flowlet.kind is FlowletKind.MAP:
                     assert isinstance(flowlet, Map)
                     for key, value in bin_:
                         flowlet.map(instance.ctx, key, value)
                 else:
                     assert isinstance(flowlet, PartialReduce)
-                    yield from self._fold_bin(instance, flowlet, bin_)
-                yield from self._drain_ctx(instance, lease)
+                    yield from self._fold_bin(instance, flowlet, bin_, tspan)
+                yield from self._drain_ctx(instance, lease, tspan)
+            self._note_task_done(instance, tspan)
         finally:
             lease.release()
 
-    def _fold_bin(self, instance: FlowletInstance, flowlet: PartialReduce, bin_: Bin):
+    def _fold_bin(self, instance: FlowletInstance, flowlet: PartialReduce, bin_: Bin, span=None):
         """Fold one bin into the per-key accumulators, modeling atomic
         contention per touched key and accounting accumulator memory."""
         touched: dict[Any, int] = {}
@@ -385,7 +411,7 @@ class NodeRuntime:
             delta += new_size - instance.acc_bytes.get(key, 0)
             instance.acc_bytes[key] = new_size
         if delta > 0 and not self.node.alloc(delta / acc_div):
-            yield from self._spill_accumulators(instance, flowlet, extra=delta)
+            yield from self._spill_accumulators(instance, flowlet, extra=delta, span=span)
         # Contended atomic updates serialize per key cell (§5.2); vector
         # accumulators touch `update_weight` cells per folded value. A
         # combined pair carries the update pressure of every record it
@@ -403,9 +429,11 @@ class NodeRuntime:
             )
             yield instance.cell_for(key).update(n_updates)
         if obs.enabled:
-            obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id)
+            obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id, span=span)
 
-    def _spill_accumulators(self, instance: FlowletInstance, flowlet: PartialReduce, extra: int):
+    def _spill_accumulators(
+        self, instance: FlowletInstance, flowlet: PartialReduce, extra: int, span=None
+    ):
         # Snapshot and clear synchronously (no yields) so concurrent fold
         # tasks never double-spill or double-free.
         acc_div = self._divisor(flowlet.aggregated_output)
@@ -415,7 +443,9 @@ class NodeRuntime:
         instance.acc_bytes = {}
         if resident > 0:
             self.node.free(resident)
-        run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+        run = yield from self.spill.spill(
+            pairs, sorted_by_key=True, free_memory=False, parent=span
+        )
         instance.acc_spill_runs.append(run)
         self.engine.metrics["acc_spills"] = self.engine.metrics.get("acc_spills", 0) + 1
 
@@ -428,32 +458,44 @@ class NodeRuntime:
         # Merge back any spilled accumulator runs.
         lease = ThreadLease(self.node.threads)
         yield lease.acquire()
+        obs, node_id = self.obs, self.node.node_id
         try:
-            for run in instance.acc_spill_runs:
-                pairs = yield from self.spill.read_back(run)
-                self.spill.free(run)
-                for key, acc in pairs:
-                    if key in instance.accs:
-                        instance.accs[key] = flowlet.combine(instance.accs[key], acc)
-                    else:
-                        instance.accs[key] = acc
-            acc_div = self._divisor(flowlet.aggregated_output)
-            items = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
-            nbytes = sum(pair_size(k, v) for k, v in items)
-            t0 = self.sim.now
-            yield self.node.record_compute(
-                len(items) / acc_div, nbytes / acc_div, flowlet.compute_factor
-            )
-            if self.obs.enabled:
-                self.obs.charge(self.job, COMPUTE, self.sim.now - t0, node=self.node.node_id)
-            for key, acc in items:
-                flowlet.finalize(instance.ctx, key, acc)
-            resident = sum(instance.acc_bytes.values()) / acc_div
-            if resident > 0:
-                self.node.free(resident)
-            instance.accs.clear()
-            instance.acc_bytes.clear()
-            yield from self._drain_ctx(instance, lease)
+            with obs.span(
+                f"finalize:{flowlet.name}", "task", node=node_id, job=self.job,
+                flowlet=flowlet.name,
+            ) as fspan:
+                # Barrier: finalize is gated on upstream completion — the
+                # last fold task on this instance is what released it.
+                obs.edge(instance.last_task_span_id, fspan, EDGE_BARRIER)
+                for run in instance.acc_spill_runs:
+                    pairs = yield from self.spill.read_back(run)
+                    self.spill.free(run)
+                    obs.edge(self.spill.last_span_id, fspan, EDGE_BARRIER)
+                    for key, acc in pairs:
+                        if key in instance.accs:
+                            instance.accs[key] = flowlet.combine(instance.accs[key], acc)
+                        else:
+                            instance.accs[key] = acc
+                acc_div = self._divisor(flowlet.aggregated_output)
+                items = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
+                nbytes = sum(pair_size(k, v) for k, v in items)
+                t0 = self.sim.now
+                yield self.node.record_compute(
+                    len(items) / acc_div, nbytes / acc_div, flowlet.compute_factor
+                )
+                if obs.enabled:
+                    obs.charge(
+                        self.job, COMPUTE, self.sim.now - t0, node=node_id, span=fspan
+                    )
+                for key, acc in items:
+                    flowlet.finalize(instance.ctx, key, acc)
+                resident = sum(instance.acc_bytes.values()) / acc_div
+                if resident > 0:
+                    self.node.free(resident)
+                instance.accs.clear()
+                instance.acc_bytes.clear()
+                yield from self._drain_ctx(instance, lease, fspan)
+            self._note_task_done(instance, fspan)
         finally:
             lease.release()
 
@@ -484,12 +526,22 @@ class NodeRuntime:
         yield from self._complete_instance(instance)
 
     def _collect_task(self, instance: FlowletInstance, bin_: Bin, lease: ThreadLease):
+        obs, node_id = self.obs, self.node.node_id
         try:
-            yield from self._collect_bin(instance, bin_)
+            with obs.span(
+                f"collect:{instance.flowlet.name}", "task", node=node_id,
+                job=self.job, flowlet=instance.flowlet.name, nrecords=bin_.nrecords,
+            ) as cspan:
+                obs.edge(bin_.trace_src, cspan, EDGE_SHUFFLE)
+                obs.edge(self.last_task_span_id, cspan, EDGE_STALL)
+                yield from self._collect_bin(instance, bin_, cspan)
+            self._note_task_done(instance, cspan)
+            if cspan.span_id:
+                instance.last_collect_span_id = cspan.span_id
         finally:
             lease.release()
 
-    def _collect_bin(self, instance: FlowletInstance, bin_: Bin):
+    def _collect_bin(self, instance: FlowletInstance, bin_: Bin, span=None):
         """Group one bin's pairs by key in memory, spilling when over budget."""
         instance.bins_in += 1
         instance.pairs_in += bin_.nrecords
@@ -506,14 +558,16 @@ class NodeRuntime:
             bin_.nrecords / div, adj_bytes, self.cost.reduce_collect_factor
         )
         if self.obs.enabled:
-            self.obs.charge(self.job, COMPUTE, self.sim.now - t0, node=self.node.node_id)
+            self.obs.charge(self.job, COMPUTE, self.sim.now - t0, node=self.node.node_id, span=span)
         if not self.node.alloc(adj_bytes):
-            yield from self._spill_groups(instance)
+            yield from self._spill_groups(instance, span)
             if not self.node.alloc(adj_bytes):
                 # Even an empty store cannot hold this bin (scaled size over
                 # budget): stream it straight to disk as its own run.
                 pairs = sorted(bin_.pairs, key=lambda kv: repr(kv[0]))
-                run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+                run = yield from self.spill.spill(
+                    pairs, sorted_by_key=True, free_memory=False, parent=span
+                )
                 instance.spill_runs.append(run)
                 self.engine.metrics["reduce_spills"] = (
                     self.engine.metrics.get("reduce_spills", 0) + 1
@@ -523,7 +577,7 @@ class NodeRuntime:
         for key, value in bin_:
             instance.groups.setdefault(key, []).append(value)
 
-    def _spill_groups(self, instance: FlowletInstance):
+    def _spill_groups(self, instance: FlowletInstance, span=None):
         # Snapshot and clear synchronously (no yields) so concurrent
         # collect tasks never double-spill or double-free.
         pairs = []
@@ -536,17 +590,24 @@ class NodeRuntime:
         instance.group_bytes = 0
         instance.groups = {}
         self.node.free(freed)
-        run = yield from self.spill.spill(pairs, sorted_by_key=True, free_memory=False)
+        run = yield from self.spill.spill(
+            pairs, sorted_by_key=True, free_memory=False, parent=span
+        )
         instance.spill_runs.append(run)
         self.engine.metrics["reduce_spills"] = self.engine.metrics.get("reduce_spills", 0) + 1
 
     def _execute_reduce(self, instance: FlowletInstance):
         flowlet = instance.flowlet
         assert isinstance(flowlet, Reduce)
+        # Barrier dependencies for the reduce tasks: the last collect on
+        # this instance (which drained the inbox) plus every spill
+        # read-back the merge performs below.
+        deps = [instance.last_collect_span_id]
         # External merge: stream spilled runs back into the grouped store.
         for run in instance.spill_runs:
             pairs = yield from self.spill.read_back(run)
             self.spill.free(run)
+            deps.append(self.spill.last_span_id)
             for key, value in pairs:
                 instance.groups.setdefault(key, []).append(value)
         instance.spill_runs = []
@@ -571,7 +632,7 @@ class NodeRuntime:
             lease = ThreadLease(self.node.threads)
             yield lease.acquire()
             task = self.sim.spawn(
-                self._reduce_task(instance, chunk, lease),
+                self._reduce_task(instance, chunk, lease, deps),
                 name=f"{flowlet.name}@n{self.node.node_id}.reduce",
             )
             tasks.append(task)
@@ -583,7 +644,9 @@ class NodeRuntime:
             instance.group_bytes = 0
         instance.groups = {}
 
-    def _reduce_task(self, instance: FlowletInstance, keys: list, lease: ThreadLease):
+    def _reduce_task(
+        self, instance: FlowletInstance, keys: list, lease: ThreadLease, deps=()
+    ):
         flowlet = instance.flowlet
         assert isinstance(flowlet, Reduce)
         instance.tasks_run += 1
@@ -592,7 +655,9 @@ class NodeRuntime:
             with obs.span(
                 f"reduce:{flowlet.name}", "task", node=node_id, job=self.job,
                 flowlet=flowlet.name, nkeys=len(keys),
-            ):
+            ) as rspan:
+                for dep in deps:
+                    obs.edge(dep, rspan, EDGE_BARRIER)
                 div = self._divisor(bool(instance.input_aggregated))
                 nrecords = sum(len(instance.groups[k]) for k in keys)
                 nbytes = sum(
@@ -603,16 +668,26 @@ class NodeRuntime:
                     nrecords / div, nbytes / div, flowlet.compute_factor
                 )
                 if obs.enabled:
-                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+                    obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=rspan)
                 for key in keys:
                     flowlet.reduce(instance.ctx, key, instance.groups[key])
-                yield from self._drain_ctx(instance, lease)
+                yield from self._drain_ctx(instance, lease, rspan)
+            self._note_task_done(instance, rspan)
         finally:
             lease.release()
 
     # -- shipping & context draining --------------------------------------------------------
 
-    def _drain_ctx(self, instance: FlowletInstance, lease: Optional[ThreadLease] = None):
+    def _note_task_done(self, instance: FlowletInstance, span) -> None:
+        """Record the last finished task span (instance- and node-level)."""
+        span_id = getattr(span, "span_id", 0)
+        if span_id:
+            instance.last_task_span_id = span_id
+            self.last_task_span_id = span_id
+
+    def _drain_ctx(
+        self, instance: FlowletInstance, lease: Optional[ThreadLease] = None, span=None
+    ):
         """Pay deferred charges and ship sealed bins out of the context."""
         ctx = instance.ctx
         obs, sim = self.obs, self.sim
@@ -621,18 +696,18 @@ class NodeRuntime:
             t0 = sim.now
             yield self.node.disk_write(disk_bytes)
             if obs.enabled:
-                obs.charge(self.job, DISK, sim.now - t0, node=self.node.node_id)
+                obs.charge(self.job, DISK, sim.now - t0, node=self.node.node_id, span=span)
         updates = ctx.take_deferred_updates()
         if updates:
             t0 = sim.now
             yield instance.cell_for("__shared__").update(updates)
             if obs.enabled:
-                obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id)
+                obs.charge(self.job, ATOMIC, sim.now - t0, node=self.node.node_id, span=span)
         for bin_ in ctx.take_sealed():
-            yield from self._ship(instance, bin_, lease)
-        yield from self._flush_sink_output(instance)
+            yield from self._ship(instance, bin_, lease, span)
+        yield from self._flush_sink_output(instance, span)
 
-    def _flush_sink_output(self, instance: FlowletInstance):
+    def _flush_sink_output(self, instance: FlowletInstance, span=None):
         ctx = instance.ctx
         if not ctx.output_pairs:
             return
@@ -646,11 +721,17 @@ class NodeRuntime:
             t1 = sim.now
             yield self.node.disk_write(nbytes)
             if obs.enabled:
-                obs.charge(self.job, COMPUTE, t1 - t0, node=self.node.node_id)
-                obs.charge(self.job, DISK, sim.now - t1, node=self.node.node_id)
+                obs.charge(self.job, COMPUTE, t1 - t0, node=self.node.node_id, span=span)
+                obs.charge(self.job, DISK, sim.now - t1, node=self.node.node_id, span=span)
         self.engine.collect_output(instance.flowlet.name, pairs)
 
-    def _ship(self, instance: FlowletInstance, bin_: Bin, lease: Optional[ThreadLease]):
+    def _ship(
+        self,
+        instance: FlowletInstance,
+        bin_: Bin,
+        lease: Optional[ThreadLease],
+        span=None,
+    ):
         """Send one sealed bin to its destination inbox(es), with flow control."""
         edge = self.graph.edges[bin_.edge_id]
         obs, sim, node_id = self.obs, self.sim, self.node.node_id
@@ -662,7 +743,7 @@ class NodeRuntime:
                 bin_.nrecords / in_div, bin_.nbytes / in_div, 0.5
             )
             if obs.enabled:
-                obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+                obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=span)
             new_bin = Bin(
                 bin_.edge_id,
                 bin_.partition,
@@ -686,12 +767,12 @@ class NodeRuntime:
         t0 = sim.now
         yield self.node.compute(self.cost.serde_cost(bin_.nbytes / ship_div))
         if obs.enabled:
-            obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id)
+            obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=span)
         if self.engine.config.stage_edges_on_disk:
             t0 = sim.now
             yield self.node.disk_write(bin_.nbytes / ship_div)
             if obs.enabled:
-                obs.charge(self.job, DISK, sim.now - t0, node=node_id)
+                obs.charge(self.job, DISK, sim.now - t0, node=node_id, span=span)
         for target in targets:
             dst_runtime = self.engine.runtimes[target]
             dst_instance = dst_runtime.instance(edge.dst.name)
@@ -699,18 +780,26 @@ class NodeRuntime:
                 t0 = sim.now
                 yield self.node.disk_read(bin_.nbytes / ship_div)
                 if obs.enabled:
-                    obs.charge(self.job, DISK, sim.now - t0, node=node_id)
+                    obs.charge(self.job, DISK, sim.now - t0, node=node_id, span=span)
             with obs.span(
                 "ship", "shuffle", node=node_id, job=self.job,
                 flowlet=instance.flowlet.name, dst_node=dst_runtime.node.node_id,
                 nbytes=bin_.nbytes,
-            ):
+            ) as ship_span:
+                # Bins drained at instance completion carry no enclosing task
+                # span; the instance's last task is what produced their data.
+                obs.edge(
+                    span if span is not None else instance.last_task_span_id,
+                    ship_span, EDGE_PRODUCE,
+                )
                 t0 = sim.now
                 yield self.engine.cluster.network.send(
                     self.node, dst_runtime.node, bin_.nbytes / ship_div
                 )
                 if obs.enabled:
-                    obs.charge(self.job, NETWORK, sim.now - t0, node=node_id)
+                    obs.charge(self.job, NETWORK, sim.now - t0, node=node_id, span=ship_span)
+            if ship_span.span_id:
+                bin_.trace_src = ship_span.span_id
             self.engine.metrics["bins_shipped"] = self.engine.metrics.get("bins_shipped", 0) + 1
             if not dst_instance.inbox.try_put(bin_, weight=bin_.nbytes):
                 # Flow control: stop immediately, free the thread, resume later.
@@ -737,7 +826,11 @@ class NodeRuntime:
                         yield dst_instance.inbox.put(bin_, weight=bin_.nbytes)
                         yield from self._maybe_throttle_loader(instance)
                     if obs.enabled:
-                        obs.charge(self.job, STALL, sim.now - t0, node=node_id)
+                        obs.charge(self.job, STALL, sim.now - t0, node=node_id, span=span)
+                # Wait-for: the stalled producer resumed because the consumer
+                # node freed inbox space — its most recent finished task is
+                # the cause.
+                obs.edge(dst_runtime.last_task_span_id, span, EDGE_STALL)
             else:
                 instance.stall_streak = 0
 

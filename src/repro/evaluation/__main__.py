@@ -11,6 +11,8 @@ Usage::
     python -m repro.evaluation bench NAME [--fidelity small]   # one Table 2 row
     python -m repro.evaluation report [--workload wordcount] [--engine both]
                                       [--json out.json] [--chrome trace.json]
+    python -m repro.evaluation diff A.json B.json [--tolerance 0.01]
+                                      [--fail-on-drift] [--json delta.json]
 """
 
 from __future__ import annotations
@@ -32,9 +34,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=["table1", "table2", "table3", "fig3a", "fig3b", "all", "bench", "report"],
+        choices=[
+            "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
+            "report", "diff",
+        ],
     )
-    parser.add_argument("name", nargs="?", help="benchmark name for `bench`")
+    parser.add_argument(
+        "name", nargs="?",
+        help="benchmark name for `bench`; baseline artifact A for `diff`",
+    )
+    parser.add_argument(
+        "name2", nargs="?", help="candidate artifact B for `diff`"
+    )
     parser.add_argument(
         "--fidelity",
         default="small",
@@ -53,14 +64,29 @@ def main(argv: list[str] | None = None) -> int:
         choices=["both", "hamr", "hadoop"],
         help="engine(s) to trace for `report`",
     )
-    parser.add_argument("--json", metavar="PATH", help="write the report as JSON")
+    parser.add_argument("--json", metavar="PATH", help="write the report/diff as JSON")
     parser.add_argument(
         "--chrome", metavar="PATH", help="write a Chrome/Perfetto trace-event file"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative virtual-seconds drift tolerance for `diff` (default 1%%)",
+    )
+    parser.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="`diff`: exit non-zero when any workload drifts beyond tolerance",
     )
     args = parser.parse_args(argv)
 
     if args.artifact == "report":
         return _report(args)
+    if args.artifact == "diff":
+        if not args.name or not args.name2:
+            parser.error("diff requires two artifact paths: A.json B.json")
+        return _diff(args)
 
     if args.artifact == "table1":
         print(table1())
@@ -108,9 +134,26 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _diff(args) -> int:
+    """Compare two observability artifacts; optionally gate on drift."""
+    from repro.obs.diff import diff_artifacts, load_artifact, render_diff
+
+    a = load_artifact(args.name)
+    b = load_artifact(args.name2)
+    result = diff_artifacts(a, b, tolerance=args.tolerance)
+    print(render_diff(result, label_a=args.name, label_b=args.name2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json(indent=2) + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.fail_on_drift and not result.ok:
+        return 1
+    return 0
+
+
 def _report(args) -> int:
     """Run one traced workload and print/export the observability report."""
-    from repro.evaluation.obsreport import render_report, report_dict
+    from repro.evaluation.obsreport import REPORT_SCHEMA, render_report, report_dict
 
     row = run_workload(
         workload_by_name(args.workload, args.fidelity), engines=args.engine, obs=True
@@ -132,7 +175,7 @@ def _report(args) -> int:
         print()
     if args.json:
         payload = {
-            "schema": "repro.obs.report/v1",
+            "schema": REPORT_SCHEMA,
             "workload": args.workload,
             "engines": {
                 engine: report_dict(tracer, args.workload, engine)

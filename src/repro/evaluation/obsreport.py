@@ -17,14 +17,17 @@ from typing import Optional
 
 from repro.evaluation.report import render_table
 from repro.obs import BUCKETS, Span, Tracer, assign_lanes
+from repro.obs.critpath import from_tracer, render_critpath
 
-REPORT_SCHEMA = "repro.obs.report/v1"
+REPORT_SCHEMA = "repro.obs.report/v2"
 
 #: glyph per task-span name prefix, in legend order
 _GLYPHS = (
     ("load", "L"),
     ("map", "M"),
     ("partial_reduce", "P"),
+    ("collect", "c"),
+    ("finalize", "F"),
     ("reduce", "R"),
     ("spill", "s"),
     ("stall", "~"),
@@ -155,18 +158,54 @@ def render_counters(tracer: Tracer) -> str:
     return render_table(["event", "count"], rows, title="Spill, locality and flow control")
 
 
+def render_percentiles(tracer: Tracer) -> str:
+    """p50/p95/p99 summary per histogram family (span durations etc.)."""
+    rows = []
+    for name, family in tracer.metrics.histogram_families().items():
+        for labels, hist in family:
+            if not hist.count:
+                continue
+            label = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            pct = hist.percentiles()
+            rows.append(
+                [f"{name}{{{label}}}" if label else name, hist.count,
+                 pct["p50"], pct["p95"], pct["p99"]]
+            )
+    if not rows:
+        return "(no histogram observations recorded)"
+    return render_table(
+        ["histogram", "n", "p50", "p95", "p99"], rows, title="Duration percentiles"
+    )
+
+
+def render_critpaths(tracer: Tracer) -> str:
+    """Critical-path section: one path analysis per traced job."""
+    jobs = tracer.blame.jobs()
+    sections = []
+    for job in jobs:
+        cp = from_tracer(tracer, job=job)
+        if not cp.segments:
+            continue
+        sections.append(render_critpath(cp, title=f"Critical path — job {job!r}"))
+    if not sections:
+        return "(no critical path — no finished spans recorded)"
+    return "\n\n".join(sections)
+
+
 def render_report(tracer: Tracer, title: str = "") -> str:
     """The full ASCII observability report for one traced run."""
     parts = [title] if title else []
     parts.append(render_gantt(tracer))
     parts.append(render_blame(tracer))
+    parts.append(render_critpaths(tracer))
+    parts.append(render_percentiles(tracer))
     parts.append(render_utilization(tracer))
     parts.append(render_counters(tracer))
     return "\n\n".join(parts)
 
 
 def report_dict(tracer: Tracer, workload: str, engine: str) -> dict:
-    """Deterministic JSON-serializable report (schema ``repro.obs.report/v1``)."""
+    """Deterministic JSON-serializable report (schema ``repro.obs.report/v2``)."""
     spans = tracer.finished_spans()
     return {
         "schema": REPORT_SCHEMA,
@@ -180,6 +219,7 @@ def report_dict(tracer: Tracer, workload: str, engine: str) -> dict:
             if tracer.metrics._counters.get(name)
         },
         "span_counts": _span_counts(spans),
+        "critpath": from_tracer(tracer).to_dict(),
         "trace": tracer.to_dict(),
     }
 

@@ -29,7 +29,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.memory import MemoryAccount
 from repro.cluster.placement import assign_splits
 from repro.mapreduce.api import MRContext, MRJob
-from repro.obs import COMPUTE, DISK, NETWORK, STARTUP
+from repro.obs import COMPUTE, DISK, EDGE_BARRIER, EDGE_SHUFFLE, NETWORK, STARTUP
 from repro.sim import Resource
 from repro.sim.core import SimEvent
 from repro.storage.dfs import DFS
@@ -83,7 +83,7 @@ class _MapOutput:
     wins (contents are deterministic, so the loser's write is identical).
     """
 
-    __slots__ = ("node", "partitions", "done", "aggregated", "started_at")
+    __slots__ = ("node", "partitions", "done", "aggregated", "started_at", "trace_span")
 
     def __init__(self, node, num_partitions: int, done: SimEvent, aggregated: bool = False):
         self.node = node
@@ -93,6 +93,9 @@ class _MapOutput:
         self.done = done
         self.aggregated = aggregated
         self.started_at = None  # virtual time the first attempt began
+        # span id of the winning map attempt (0 when untraced): reducer
+        # fetches emit a map -> fetch shuffle causal edge from it
+        self.trace_span = 0
 
 
 class HadoopEngine:
@@ -145,17 +148,17 @@ class HadoopEngine:
     # -- job lifecycle ----------------------------------------------------------------
 
     def _run_job(self, job: MRJob, state: dict):
-        with self.obs.span(f"job:{job.name}", "job", job=job.name, engine="hadoop"):
-            yield from self._run_job_body(job, state)
+        with self.obs.span(f"job:{job.name}", "job", job=job.name, engine="hadoop") as jspan:
+            yield from self._run_job_body(job, state, jspan)
 
-    def _run_job_body(self, job: MRJob, state: dict):
+    def _run_job_body(self, job: MRJob, state: dict, jspan=None):
         sim = self.cluster.sim
         cost = self.cost
         obs = self.obs
         t0 = sim.now
         yield sim.timeout(cost.hadoop_job_startup)
         if obs.enabled:
-            obs.charge(job.name, STARTUP, sim.now - t0)
+            obs.charge(job.name, STARTUP, sim.now - t0, span=jspan)
 
         splits = self.dfs.splits(job.input_file)
         num_reducers = job.num_reducers or self.num_workers
@@ -335,13 +338,13 @@ class HadoopEngine:
             with obs.span(
                 "map", "task", node=node.node_id, job=job.name,
                 block=split.block.block_id, backup=backup,
-            ):
+            ) as mspan:
                 t0 = sim.now
                 yield sim.timeout(cost.hadoop_task_startup)  # container/JVM launch
                 if obs.enabled:
-                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id)
+                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id, span=mspan)
                 records = yield from self.dfs.read_block(
-                    split.block, node, cost_divisor=in_div, job=job.name
+                    split.block, node, cost_divisor=in_div, job=job.name, span=mspan
                 )
                 ctx = MRContext()
                 t0 = sim.now
@@ -349,7 +352,7 @@ class HadoopEngine:
                     split.nrecords / in_div, split.nbytes / in_div, job.mapper.compute_factor
                 )
                 if obs.enabled:
-                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id)
+                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id, span=mspan)
                 if fail:
                     # the attempt dies after burning its input read and compute
                     return False
@@ -393,8 +396,8 @@ class HadoopEngine:
                     yield node.disk_read(total_bytes / out_div)
                     yield node.disk_write(total_bytes / out_div)
                 if obs.enabled:
-                    obs.charge(job.name, COMPUTE, t1 - t0, node=node.node_id)
-                    obs.charge(job.name, DISK, sim.now - t1, node=node.node_id)
+                    obs.charge(job.name, COMPUTE, t1 - t0, node=node.node_id, span=mspan)
+                    obs.charge(job.name, DISK, sim.now - t1, node=node.node_id, span=mspan)
                 if out.done.triggered:
                     return True  # lost the race; the winner's output stands
                 if backup:
@@ -402,6 +405,7 @@ class HadoopEngine:
                         state["metrics"].get("speculative_wins", 0) + 1
                     )
                 out.node = node  # reducers fetch from the winning attempt's disk
+                out.trace_span = mspan.span_id
                 out.done.trigger()
                 return True
         finally:
@@ -415,11 +419,11 @@ class HadoopEngine:
         obs = self.obs
         yield slot.acquire()
         try:
-            with obs.span("reduce", "task", node=node.node_id, job=job.name, reducer=r):
+            with obs.span("reduce", "task", node=node.node_id, job=job.name, reducer=r) as rspan:
                 t0 = sim.now
                 yield sim.timeout(cost.hadoop_task_startup)
                 if obs.enabled:
-                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id)
+                    obs.charge(job.name, STARTUP, sim.now - t0, node=node.node_id, span=rspan)
                 # Fetched data lands in this reduce task's container heap (a
                 # ~1 GB JVM, not the whole node) — overflowing it spills to
                 # local disk and pays a read-back at merge time.
@@ -440,15 +444,18 @@ class HadoopEngine:
                     nbytes = raw_nbytes / (cost.scale if out.aggregated else 1.0)
                     with obs.span(
                         "fetch", "shuffle", node=node.node_id, job=job.name,
-                        src_node=out.node.node_id, nbytes=int(nbytes),
-                    ):
+                        src_node=out.node.node_id, nbytes=int(nbytes), parent=rspan,
+                    ) as fspan:
+                        obs.edge(out.trace_span, fspan, EDGE_SHUFFLE)
                         t0 = sim.now
                         yield out.node.disk_read(nbytes)
                         t1 = sim.now
                         yield self.cluster.network.send(out.node, node, nbytes)
                         if obs.enabled:
-                            obs.charge(job.name, DISK, t1 - t0, node=node.node_id)
-                            obs.charge(job.name, NETWORK, sim.now - t1, node=node.node_id)
+                            obs.charge(job.name, DISK, t1 - t0, node=node.node_id, span=fspan)
+                            obs.charge(job.name, NETWORK, sim.now - t1, node=node.node_id, span=fspan)
+                    # The reduce barrier waits on every fetch.
+                    obs.edge(fspan, rspan, EDGE_BARRIER)
                     shuffled_bytes += nbytes
                     scaled = cost.scaled_bytes(nbytes)
                     if not heap.allocate(scaled):
@@ -457,7 +464,9 @@ class HadoopEngine:
                             for seg in segments:
                                 merged.extend(seg)
                             merged.sort(key=lambda kv: repr(kv[0]))
-                            run = yield from spill.spill(merged, sorted_by_key=True, free_memory=False)
+                            run = yield from spill.spill(
+                                merged, sorted_by_key=True, free_memory=False, parent=rspan
+                            )
                             spill_runs.append(run)
                             heap.free(accounted_bytes)
                             segments, resident_bytes, accounted_bytes = [], 0, 0
@@ -485,6 +494,7 @@ class HadoopEngine:
                 for run in spill_runs:
                     pairs = yield from spill.read_back(run)
                     spill.free(run)
+                    obs.edge(spill.last_span_id, rspan, EDGE_BARRIER)
                     for key, value in pairs:
                         groups.setdefault(key, []).append(value)
                         merge_records += 1
@@ -504,7 +514,7 @@ class HadoopEngine:
                     merge_records / merge_div, merge_bytes / merge_div, job.reducer.compute_factor
                 )
                 if obs.enabled:
-                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id)
+                    obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id, span=rspan)
                 for key in sorted(groups, key=repr):
                     job.reducer.reduce(ctx, key, groups[key])
                 output_pairs = ctx.take()
@@ -516,7 +526,7 @@ class HadoopEngine:
                 yield from self.dfs.write(
                     part_name, output_pairs, node,
                     cost_divisor=cost.scale if job.aggregated_output else 1.0,
-                    job=job.name,
+                    job=job.name, span=rspan,
                 )
                 if self.config.collect_outputs:
                     state["outputs"].extend(output_pairs)

@@ -23,13 +23,32 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TimeSeries,
 )
-from repro.obs.spans import NULL_SPAN, Span, Tracer, assign_lanes
+from repro.obs.spans import (
+    EDGE_BARRIER,
+    EDGE_KINDS,
+    EDGE_PRODUCE,
+    EDGE_SHUFFLE,
+    EDGE_SPILL,
+    EDGE_STALL,
+    NULL_SPAN,
+    Span,
+    SpanEdge,
+    Tracer,
+    assign_lanes,
+)
 
 __all__ = [
     "Tracer",
     "Span",
+    "SpanEdge",
     "NULL_SPAN",
     "assign_lanes",
+    "EDGE_KINDS",
+    "EDGE_PRODUCE",
+    "EDGE_SHUFFLE",
+    "EDGE_SPILL",
+    "EDGE_BARRIER",
+    "EDGE_STALL",
     "MetricsRegistry",
     "Counter",
     "Gauge",

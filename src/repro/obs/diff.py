@@ -1,0 +1,253 @@
+"""Differential profiling: compare two observability artifacts.
+
+Credible Hadoop-class evaluation needs run-over-run comparison with
+explicit variance/regression criteria, not one-shot numbers. This module
+diffs two artifacts — bench baselines (``repro.obs.bench/v1|v2``, e.g.
+the committed ``BENCH_obs.json``) or report exports
+(``repro.obs.report/v1|v2``) — per workload × engine: virtual seconds,
+blame-bucket deltas, and critical-path composition. The result renders as
+a deterministic ASCII table plus a JSON delta report, and carries a drift
+verdict against a configurable relative tolerance — the CI perf-regression
+gate is exactly this diff with ``--fail-on-drift``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.blame import BUCKETS
+
+DIFF_SCHEMA = "repro.obs.diff/v1"
+
+#: artifact schema prefixes this module understands
+_BENCH_PREFIX = "repro.obs.bench/"
+_REPORT_PREFIX = "repro.obs.report/"
+
+
+class ArtifactError(ValueError):
+    """The input file is not a comparable observability artifact."""
+
+
+@dataclass
+class EngineRecord:
+    """One workload × engine measurement normalized out of an artifact."""
+
+    virtual_seconds: float
+    blame: dict[str, float] = field(default_factory=dict)
+    critpath: Optional[dict[str, float]] = None  # rollup key -> path seconds
+
+
+def _blame_from_report(engine_report: dict) -> dict[str, float]:
+    """Collapse a report's per-job blame into one bucket map (jobs sum)."""
+    merged = {bucket: 0.0 for bucket in BUCKETS}
+    for job_entry in engine_report.get("blame", {}).values():
+        for bucket, seconds in job_entry.get("buckets", {}).items():
+            merged[bucket] = merged.get(bucket, 0.0) + seconds
+    return merged
+
+
+def normalize(artifact: dict, source: str = "<artifact>") -> dict:
+    """Normalize an artifact to ``{workload: {engine: EngineRecord}}``."""
+    schema = artifact.get("schema", "")
+    rows: dict[str, dict[str, EngineRecord]] = {}
+    if schema.startswith(_BENCH_PREFIX):
+        for workload, row in artifact.get("rows", {}).items():
+            engines = {}
+            for engine in ("hamr", "hadoop"):
+                entry = row.get(engine)
+                if entry is None:
+                    continue
+                engines[engine] = EngineRecord(
+                    virtual_seconds=entry["virtual_seconds"],
+                    blame=dict(entry.get("blame", {})),
+                    critpath=dict(entry["critpath"])
+                    if entry.get("critpath") is not None
+                    else None,
+                )
+            rows[workload] = engines
+    elif schema.startswith(_REPORT_PREFIX):
+        workload = artifact.get("workload", "unknown")
+        engines = {}
+        for engine, engine_report in artifact.get("engines", {}).items():
+            critpath = engine_report.get("critpath")
+            engines[engine] = EngineRecord(
+                virtual_seconds=engine_report["virtual_end"],
+                blame=_blame_from_report(engine_report),
+                critpath=dict(critpath["rollup"]) if critpath else None,
+            )
+        rows[workload] = engines
+    else:
+        raise ArtifactError(
+            f"{source}: unrecognized schema {schema!r} (expected "
+            f"{_BENCH_PREFIX}* or {_REPORT_PREFIX}*)"
+        )
+    return rows
+
+
+def load_artifact(path: str) -> dict:
+    """Read and normalize one artifact file."""
+    with open(path) as fh:
+        return normalize(json.load(fh), source=path)
+
+
+def _rel_delta(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    if a == 0.0:
+        return float("inf")
+    return (b - a) / a
+
+
+@dataclass
+class DiffResult:
+    """The full comparison, renderable as ASCII and as JSON."""
+
+    rows: dict  # workload -> engine -> comparison dict
+    only_a: list[str]
+    only_b: list[str]
+    tolerance: float
+    drift: list[str] = field(default_factory=list)  # "workload/engine" keys
+
+    @property
+    def ok(self) -> bool:
+        return not self.drift
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": DIFF_SCHEMA,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "drift": sorted(self.drift),
+            "only_a": sorted(self.only_a),
+            "only_b": sorted(self.only_b),
+            "rows": {
+                workload: {
+                    engine: self.rows[workload][engine]
+                    for engine in sorted(self.rows[workload])
+                }
+                for workload in sorted(self.rows)
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def diff_artifacts(a: dict, b: dict, tolerance: float = 0.01) -> DiffResult:
+    """Compare two normalized artifacts (see :func:`normalize`).
+
+    A workload × engine drifts when its virtual seconds moved by more than
+    ``tolerance`` (relative) between A and B. Blame buckets and
+    critical-path composition are reported per row for explanation, but
+    only the virtual-seconds criterion gates.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative: {tolerance}")
+    shared = sorted(set(a) & set(b))
+    result = DiffResult(
+        rows={},
+        only_a=sorted(set(a) - set(b)),
+        only_b=sorted(set(b) - set(a)),
+        tolerance=tolerance,
+    )
+    for workload in shared:
+        engines_a, engines_b = a[workload], b[workload]
+        row: dict = {}
+        for engine in sorted(set(engines_a) & set(engines_b)):
+            rec_a, rec_b = engines_a[engine], engines_b[engine]
+            rel = _rel_delta(rec_a.virtual_seconds, rec_b.virtual_seconds)
+            drifted = abs(rel) > tolerance
+            blame_delta = {
+                bucket: rec_b.blame.get(bucket, 0.0) - rec_a.blame.get(bucket, 0.0)
+                for bucket in sorted(set(rec_a.blame) | set(rec_b.blame))
+            }
+            comparison = {
+                "virtual_seconds_a": rec_a.virtual_seconds,
+                "virtual_seconds_b": rec_b.virtual_seconds,
+                "rel_delta": rel,
+                "drift": drifted,
+                "blame_delta": blame_delta,
+            }
+            if rec_a.critpath is not None and rec_b.critpath is not None:
+                comparison["critpath_delta"] = {
+                    key: rec_b.critpath.get(key, 0.0) - rec_a.critpath.get(key, 0.0)
+                    for key in sorted(set(rec_a.critpath) | set(rec_b.critpath))
+                }
+            row[engine] = comparison
+            if drifted:
+                result.drift.append(f"{workload}/{engine}")
+        result.rows[workload] = row
+    return result
+
+
+def render_diff(result: DiffResult, label_a: str = "A", label_b: str = "B") -> str:
+    """Deterministic ASCII delta report."""
+    from repro.evaluation.report import render_table
+
+    lines = []
+    rows = []
+    for workload in sorted(result.rows):
+        for engine in sorted(result.rows[workload]):
+            c = result.rows[workload][engine]
+            rel = c["rel_delta"]
+            rel_text = "inf" if rel == float("inf") else f"{100.0 * rel:+.3f}%"
+            dominant = _dominant_blame_shift(c["blame_delta"])
+            rows.append(
+                [
+                    workload,
+                    engine,
+                    f"{c['virtual_seconds_a']:.3f}",
+                    f"{c['virtual_seconds_b']:.3f}",
+                    rel_text,
+                    "DRIFT" if c["drift"] else "ok",
+                    dominant,
+                ]
+            )
+    lines.append(
+        render_table(
+            ["workload", "engine", label_a, label_b, "delta", "verdict", "top blame shift"],
+            rows,
+            title=f"Differential profile ({label_a} -> {label_b}, "
+            f"tolerance {100.0 * result.tolerance:g}%)",
+        )
+    )
+    crit_rows = []
+    for workload in sorted(result.rows):
+        for engine in sorted(result.rows[workload]):
+            c = result.rows[workload][engine]
+            delta = c.get("critpath_delta")
+            if not delta:
+                continue
+            moved = [
+                f"{key} {sec:+.3f}s"
+                for key, sec in sorted(delta.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+                if abs(sec) > 1e-9
+            ][:3]
+            crit_rows.append([workload, engine, ", ".join(moved) or "(unchanged)"])
+    if crit_rows:
+        lines.append(
+            render_table(
+                ["workload", "engine", "critical-path composition shift"],
+                crit_rows,
+                title="Critical-path deltas",
+            )
+        )
+    for label, missing in (("only in A", result.only_a), ("only in B", result.only_b)):
+        if missing:
+            lines.append(f"workloads {label}: {', '.join(missing)}")
+    lines.append(
+        "verdict: "
+        + ("OK — within tolerance" if result.ok else f"DRIFT in {', '.join(sorted(result.drift))}")
+    )
+    return "\n\n".join(lines)
+
+
+def _dominant_blame_shift(blame_delta: dict[str, float]) -> str:
+    if not blame_delta:
+        return "-"
+    bucket, sec = max(blame_delta.items(), key=lambda kv: (abs(kv[1]), kv[0]))
+    if abs(sec) < 1e-9:
+        return "-"
+    return f"{bucket} {sec:+.3f}s"

@@ -9,6 +9,7 @@ identical runs serialize to byte-identical JSON.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Any, Optional, Sequence, Tuple
 
@@ -53,14 +54,19 @@ class Gauge:
         return self.value
 
 
+#: percentile summaries reported by histogram snapshots, in report order
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
 class Histogram:
     """Fixed-bucket histogram of observations (virtual-time durations).
 
     ``bounds`` are inclusive upper edges; observations above the last bound
-    land in an implicit overflow bucket.
+    land in an implicit overflow bucket. Raw observations are retained so
+    percentile summaries (p50/p95/p99) are exact, not bucket-interpolated.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total")
+    __slots__ = ("bounds", "counts", "count", "total", "values")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
         self.bounds = tuple(sorted(bounds))
@@ -69,23 +75,41 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.values: list[float] = []
 
     def observe(self, value: float) -> None:
         self.counts[bisect_right(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+        self.values.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile of the observations (0 when empty)."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100]: {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard summary: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {f"p{q:g}": self.percentile(q) for q in PERCENTILES}
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "count": self.count,
             "total": self.total,
         }
+        snap.update(self.percentiles())
+        return snap
 
 
 class TimeSeries:
@@ -164,6 +188,16 @@ class MetricsRegistry:
             value = dict(key).get(label)
             out[value] = out.get(value, 0.0) + counter.value
         return out
+
+    def histogram_families(self) -> dict[str, list[tuple[dict, "Histogram"]]]:
+        """Histograms grouped by name, label sets in deterministic order."""
+        return {
+            name: [
+                (dict(key), metric)
+                for key, metric in sorted(family.items(), key=lambda kv: repr(kv[0]))
+            ]
+            for name, family in sorted(self._histograms.items())
+        }
 
     def names(self) -> list[str]:
         return sorted(

@@ -36,7 +36,7 @@ class Span:
 
     __slots__ = (
         "tracer", "span_id", "name", "cat", "start", "end",
-        "node", "job", "flowlet", "parent_id", "args",
+        "node", "job", "flowlet", "parent_id", "args", "charges",
     )
 
     def __init__(
@@ -63,6 +63,8 @@ class Span:
         self.flowlet = flowlet
         self.parent_id = parent_id
         self.args = args or {}
+        #: blame bucket -> virtual seconds charged against this span
+        self.charges: dict[str, float] = {}
 
     @property
     def duration(self) -> float:
@@ -92,6 +94,7 @@ class Span:
         self.end = self.tracer.sim.now
         if args:
             self.args.update(args)
+        self.tracer._span_finished(self)
         return self
 
     def __enter__(self) -> "Span":
@@ -115,6 +118,7 @@ class Span:
             "flowlet": self.flowlet,
             "parent": self.parent_id,
             "args": {k: self.args[k] for k in sorted(self.args)},
+            "charges": {k: self.charges[k] for k in sorted(self.charges)},
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -133,6 +137,7 @@ class _NullSpan:
     job = None
     flowlet = None
     open = False
+    span_id = 0
 
     def child(self, _name: str, _cat: Optional[str] = None, **_args: Any) -> "_NullSpan":
         return self
@@ -149,6 +154,32 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
+#: causal edge kinds — how one span's completion enabled another span
+EDGE_PRODUCE = "produce"  # producer task -> the ship/spill it fed
+EDGE_SHUFFLE = "shuffle"  # ship/fetch transfer -> the task consuming the data
+EDGE_SPILL = "spill"  # spill write -> its read-back
+EDGE_BARRIER = "barrier"  # barrier input (collect/fetch/read-back) -> gated work
+EDGE_STALL = "stall"  # consumer task freeing inbox space -> the stalled producer
+
+EDGE_KINDS = (EDGE_PRODUCE, EDGE_SHUFFLE, EDGE_SPILL, EDGE_BARRIER, EDGE_STALL)
+
+
+class SpanEdge:
+    """One causal dependency between two spans (by span id)."""
+
+    __slots__ = ("src", "dst", "kind")
+
+    def __init__(self, src: int, dst: int, kind: str):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+
+    def to_list(self) -> list:
+        return [self.src, self.dst, self.kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpanEdge {self.src} -{self.kind}-> {self.dst}>"
+
 
 class Tracer:
     """The unified observability handle: spans + metrics + blame.
@@ -162,6 +193,7 @@ class Tracer:
         self.sim = sim
         self.enabled = enabled
         self.spans: list[Span] = []
+        self.edges: list[SpanEdge] = []
         self.metrics = MetricsRegistry()
         self.blame = BlameLedger()
         self._next_id = 0
@@ -204,15 +236,49 @@ class Tracer:
             if s.end is not None and (cat is None or s.cat == cat)
         ]
 
+    def _span_finished(self, span: Span) -> None:
+        """Bookkeeping hook at span close: per-category duration histogram."""
+        self.metrics.histogram("span.seconds", cat=span.cat).observe(span.duration)
+
+    # -- causal edges ------------------------------------------------------------
+
+    def edge(self, src, dst, kind: str) -> None:
+        """Record a causal dependency ``src -> dst`` between two spans.
+
+        ``src``/``dst`` may be :class:`Span` objects or raw span ids (ints,
+        as carried on bins and spill runs). Null spans, ``None`` and id 0
+        are silently dropped so call sites need no enabled-checks.
+        """
+        if not self.enabled:
+            return
+        src_id = src.span_id if isinstance(src, Span) else src
+        dst_id = dst.span_id if isinstance(dst, Span) else dst
+        if not src_id or not dst_id or not isinstance(src_id, int) or not isinstance(dst_id, int):
+            return
+        if kind not in EDGE_KINDS:
+            raise ValueError(f"unknown edge kind {kind!r}; pick from {EDGE_KINDS}")
+        self.edges.append(SpanEdge(src_id, dst_id, kind))
+
     # -- blame -----------------------------------------------------------------
 
     def charge(
-        self, job: str, bucket: str, seconds: float, node: Optional[int] = None
+        self,
+        job: str,
+        bucket: str,
+        seconds: float,
+        node: Optional[int] = None,
+        span: Optional[Span] = None,
     ) -> None:
-        """Attribute ``seconds`` of a task's waiting to a blame bucket."""
+        """Attribute ``seconds`` of a task's waiting to a blame bucket.
+
+        With ``span`` the charge is additionally attributed to that span,
+        giving the critical-path analysis a per-span bucket decomposition.
+        """
         if not self.enabled:
             return
         self.blame.charge(job, bucket, seconds, node=node)
+        if isinstance(span, Span) and seconds > 0.0:
+            span.charges[bucket] = span.charges.get(bucket, 0.0) + seconds
 
     # -- metrics convenience (no-ops when disabled) ------------------------------
 
@@ -237,8 +303,12 @@ class Tracer:
     def to_dict(self) -> dict:
         """Deterministic JSON-serializable dump of the whole trace."""
         return {
-            "schema": "repro.obs.trace/v1",
+            "schema": "repro.obs.trace/v2",
             "spans": [s.to_dict() for s in self.spans],
+            "edges": sorted(
+                (e.to_list() for e in self.edges),
+                key=lambda e: (e[0], e[1], e[2]),
+            ),
             "metrics": self.metrics.snapshot(),
             "blame": self.blame.snapshot(),
         }
@@ -251,13 +321,16 @@ class Tracer:
 
         Finished spans become complete ``"X"`` events sorted by timestamp
         (``ts`` monotone). ``pid`` is the node id, ``tid`` a per-node lane
-        such that overlapping spans never share a row. Virtual seconds map
-        to trace microseconds via ``time_unit``.
+        such that overlapping spans never share a row. Causal span edges
+        become flow events (``"s"``/``"f"`` pairs), so producer→consumer
+        arrows render in the Perfetto UI. Virtual seconds map to trace
+        microseconds via ``time_unit``.
         """
         spans = sorted(
             self.finished_spans(), key=lambda s: (s.start, s.span_id)
         )
         lanes = assign_lanes(spans)
+        by_id = {s.span_id: s for s in spans}
         events = []
         for span in spans:
             # pid -1 for node-less spans matches assign_lanes' keying, so
@@ -281,6 +354,44 @@ class Tracer:
                     "args": {k: v for k, v in args.items() if v is not None},
                 }
             )
+        # Flow events: one s/f pair per causal edge between finished spans.
+        # The start binds to the end of the source slice ("bp": "e" on the
+        # finish re-binds to the enclosing slice at the destination's start).
+        flow_id = 0
+        for edge in sorted(self.edges, key=lambda e: (e.src, e.dst, e.kind)):
+            src, dst = by_id.get(edge.src), by_id.get(edge.dst)
+            if src is None or dst is None:
+                continue
+            flow_id += 1
+            common = {"name": edge.kind, "cat": f"flow.{edge.kind}", "id": flow_id}
+            events.append(
+                {
+                    **common,
+                    "ph": "s",
+                    "ts": round(src.end * time_unit),
+                    "pid": src.node if src.node is not None else -1,
+                    "tid": lanes[src.span_id],
+                }
+            )
+            # The arrow lands where the dependency resolved: the destination
+            # span's start, or the source's end for edges that resolve
+            # mid-span (stall wait-for edges).
+            f_ts = min(max(dst.start, src.end), dst.end)
+            events.append(
+                {
+                    **common,
+                    "ph": "f",
+                    "bp": "e",
+                    "ts": round(f_ts * time_unit),
+                    "pid": dst.node if dst.node is not None else -1,
+                    "tid": lanes[dst.span_id],
+                }
+            )
+        # Global ts order (required by the format); stable tiebreak keeps the
+        # output byte-identical across runs.
+        events.sort(
+            key=lambda e: (e["ts"], e["ph"] != "X", e.get("id", 0), e["pid"], e["tid"])
+        )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

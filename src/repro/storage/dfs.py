@@ -147,13 +147,21 @@ class DFS:
 
     # -- charged operations (simulation processes: spawn or yield them) ---------
 
-    def read_block(self, block: Block, reader: Node, cost_divisor: float = 1.0, job: str | None = None):
+    def read_block(
+        self,
+        block: Block,
+        reader: Node,
+        cost_divisor: float = 1.0,
+        job: str | None = None,
+        span=None,
+    ):
         """Process: read one block at ``reader``, local if it holds a replica.
 
         Returns the block's records. A remote read charges the replica
         holder's disk plus a network transfer; a local read only the disk.
         ``cost_divisor`` discounts charges for aggregated (key-space-
-        bounded) files under the scale model.
+        bounded) files under the scale model. ``span`` attributes the
+        charges to the calling task's span.
         """
         nbytes = block.nbytes / cost_divisor
         self.bytes_read += int(self.cost.scaled_bytes(nbytes))
@@ -163,7 +171,7 @@ class DFS:
             t0 = sim.now
             yield reader.disk_read(nbytes)
             if obs.enabled and job is not None:
-                obs.charge(job, DISK, sim.now - t0, node=reader.node_id)
+                obs.charge(job, DISK, sim.now - t0, node=reader.node_id, span=span)
         else:
             obs.count("dfs.remote_reads", node=reader.node_id)
             holder = self._node_by_id(block.replica_nodes[0])
@@ -172,11 +180,19 @@ class DFS:
             t1 = sim.now
             yield self.cluster.network.send(holder, reader, nbytes)
             if obs.enabled and job is not None:
-                obs.charge(job, DISK, t1 - t0, node=reader.node_id)
-                obs.charge(job, NETWORK, sim.now - t1, node=reader.node_id)
+                obs.charge(job, DISK, t1 - t0, node=reader.node_id, span=span)
+                obs.charge(job, NETWORK, sim.now - t1, node=reader.node_id, span=span)
         return block.records
 
-    def write(self, name: str, records: Sequence[Any], writer: Node, cost_divisor: float = 1.0, job: str | None = None):
+    def write(
+        self,
+        name: str,
+        records: Sequence[Any],
+        writer: Node,
+        cost_divisor: float = 1.0,
+        job: str | None = None,
+        span=None,
+    ):
         """Process: write a new file from ``writer``, with pipelined replication.
 
         Charges: local disk write for the first replica, plus a network send
@@ -195,10 +211,14 @@ class DFS:
             block_records.append(record)
             block_bytes += self._record_size(record)
             if self.cost.scaled_bytes(block_bytes / cost_divisor) >= self.cost.hdfs_block_size:
-                yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor, job)
+                yield from self._write_block(
+                    file, block_records, block_bytes, writer, cost_divisor, job, span
+                )
                 block_records, block_bytes = [], 0
         if block_records or not file.blocks:
-            yield from self._write_block(file, block_records, block_bytes, writer, cost_divisor, job)
+            yield from self._write_block(
+                file, block_records, block_bytes, writer, cost_divisor, job, span
+            )
         return file
 
     def _write_block(
@@ -209,6 +229,7 @@ class DFS:
         writer: Node,
         cost_divisor: float = 1.0,
         job: str | None = None,
+        span=None,
     ):
         charge_bytes = nbytes / cost_divisor
         replicas = self._place_replicas()
@@ -241,7 +262,7 @@ class DFS:
                 # The write pipeline overlaps replica disk writes with the
                 # inter-replica sends; the critical path is disk-bound, so
                 # the elapsed wait is blamed to DISK.
-                obs.charge(job, DISK, sim.now - t0, node=writer.node_id)
+                obs.charge(job, DISK, sim.now - t0, node=writer.node_id, span=span)
         file.blocks.append(block)
 
     def concat(self, name: str, part_names: Sequence[str]) -> DistributedFile:

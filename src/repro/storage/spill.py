@@ -10,12 +10,12 @@ serialization time and adjusts the node's memory account.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
 from repro.cluster.node import Node
-from repro.obs import COMPUTE, DISK
+from repro.obs import COMPUTE, DISK, EDGE_PRODUCE, EDGE_SPILL, Span
 
 
 @dataclass
@@ -28,6 +28,9 @@ class SpillRun:
     nbytes: int  # pre-scale logical bytes
     sorted_by_key: bool = False
     freed: bool = False
+    #: id of the span that wrote this run (0 when untraced); read-backs
+    #: emit a write -> read-back causal edge from it
+    trace_span: int = 0
 
     @property
     def nrecords(self) -> int:
@@ -45,17 +48,27 @@ class SpillManager:
         self._record_size = record_size_fn
         #: blame/span attribution for charges this manager makes
         self.job = job
+        #: span id of the last spill/read-back this manager performed
+        #: (0 when untraced) — callers use it to emit barrier edges
+        self.last_span_id = 0
         # Metrics (scaled bytes)
         self.bytes_spilled = 0
         self.bytes_read_back = 0
         self.runs_created = 0
 
-    def spill(self, records: Sequence[Any], sorted_by_key: bool = False, free_memory: bool = True):
+    def spill(
+        self,
+        records: Sequence[Any],
+        sorted_by_key: bool = False,
+        free_memory: bool = True,
+        parent: Optional[Span] = None,
+    ):
         """Process: write ``records`` to a new run, charging serde + disk.
 
         If ``free_memory`` is set, releases the records' logical size from
         the node's memory account (they were resident before the spill).
-        Returns the new :class:`SpillRun`.
+        ``parent`` is the task span whose data is being spilled (emits a
+        produce edge). Returns the new :class:`SpillRun`.
         """
         recs = list(records)
         nbytes = sum(self._record_size(r) for r in recs)
@@ -65,14 +78,19 @@ class SpillManager:
         self.runs_created += 1
         self.bytes_spilled += int(self.cost.scaled_bytes(nbytes))
         obs, sim, node_id = self.node.obs, self.node.sim, self.node.node_id
-        with obs.span("spill", "spill", node=node_id, job=self.job, nbytes=nbytes):
+        with obs.span(
+            "spill", "spill", node=node_id, job=self.job, parent=parent, nbytes=nbytes
+        ) as span:
             t0 = sim.now
             yield self.node.compute(self.cost.serde_cost(nbytes))
             t1 = sim.now
             yield self.node.disk_write(nbytes)
             if obs.enabled and self.job is not None:
-                obs.charge(self.job, COMPUTE, t1 - t0, node=node_id)
-                obs.charge(self.job, DISK, sim.now - t1, node=node_id)
+                obs.charge(self.job, COMPUTE, t1 - t0, node=node_id, span=span)
+                obs.charge(self.job, DISK, sim.now - t1, node=node_id, span=span)
+        run.trace_span = span.span_id
+        self.last_span_id = span.span_id
+        obs.edge(parent, span, EDGE_PRODUCE)
         obs.count("spill.runs", node=node_id)
         obs.count("spill.bytes", nbytes, node=node_id)
         if free_memory:
@@ -96,14 +114,16 @@ class SpillManager:
         obs, sim, node_id = self.node.obs, self.node.sim, self.node.node_id
         with obs.span(
             "spill.read_back", "spill", node=node_id, job=self.job, nbytes=run.nbytes
-        ):
+        ) as span:
             t0 = sim.now
             yield self.node.disk_read(run.nbytes)
             t1 = sim.now
             yield self.node.compute(self.cost.serde_cost(run.nbytes))
             if obs.enabled and self.job is not None:
-                obs.charge(self.job, DISK, t1 - t0, node=node_id)
-                obs.charge(self.job, COMPUTE, sim.now - t1, node=node_id)
+                obs.charge(self.job, DISK, t1 - t0, node=node_id, span=span)
+                obs.charge(self.job, COMPUTE, sim.now - t1, node=node_id, span=span)
+        self.last_span_id = span.span_id
+        obs.edge(run.trace_span, span, EDGE_SPILL)
         obs.count("spill.bytes_read_back", run.nbytes, node=node_id)
         if reacquire_memory:
             self.node.alloc(run.nbytes)

@@ -251,15 +251,28 @@ class TestTracedRun:
         trace = env.obs.to_chrome_trace()
         events = trace["traceEvents"]
         assert events
-        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ph"] in ("X", "s", "f") for e in events)
         ts = [e["ts"] for e in events]
         assert ts == sorted(ts)
-        assert all(e["dur"] >= 0 for e in events)
+        assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
         json.dumps(trace)
+
+    def test_chrome_flow_events_pair_up(self, traced):
+        env, _result = traced
+        events = env.obs.to_chrome_trace()["traceEvents"]
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts  # causal edges rendered as flows
+        assert starts == finishes
+        assert all(
+            e["cat"].startswith("flow.") for e in events if e["ph"] in ("s", "f")
+        )
 
     def test_chrome_lanes_never_overlap(self, traced):
         env, _result = traced
-        events = env.obs.to_chrome_trace()["traceEvents"]
+        events = [
+            e for e in env.obs.to_chrome_trace()["traceEvents"] if e["ph"] == "X"
+        ]
         last_end: dict[tuple, float] = {}
         for e in events:
             key = (e["pid"], e["tid"])
@@ -283,10 +296,11 @@ class TestTracedRun:
     def test_report_dict_schema(self, traced):
         env, _result = traced
         rep = report_dict(env.obs, "wordcount", "hamr")
-        assert rep["schema"] == "repro.obs.report/v1"
+        assert rep["schema"] == "repro.obs.report/v2"
         assert rep["engine"] == "hamr"
-        assert rep["trace"]["schema"] == "repro.obs.trace/v1"
+        assert rep["trace"]["schema"] == "repro.obs.trace/v2"
         assert rep["span_counts"]["task"] > 0
+        assert rep["critpath"]["schema"] == "repro.obs.critpath/v1"
 
 
 class TestDeterminism:
