@@ -5,7 +5,6 @@ engine gets (``factor`` > 1 means the feature pays for itself), printing
 a one-line verdict per ablation.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.evaluation.ablations import (

@@ -13,10 +13,14 @@ perf-regression gate uses)::
     python benchmarks/bench_obs.py --workloads wordcount,naive_bayes
 
 Every selected Table 2 workload runs once per engine with tracing
-enabled; the artifact (schema ``repro.obs.bench/v2``) holds each row's
-virtual seconds, blame buckets and critical-path rollup, so later runs
-can be diffed with ``python -m repro.evaluation diff`` — where the
-task-seconds went, not just how many there were.
+enabled; the artifact (schema ``repro.obs.bench/v3``) holds each row's
+virtual seconds, blame buckets (plus their ledger total, for the
+bucket-sum invariant) and critical-path rollup, so later runs can be
+diffed with ``python -m repro.evaluation diff`` — where the task-seconds
+went, not just how many there were. Each entry also records
+``wall_seconds``: real host elapsed time for the run, deliberately
+*excluded* from the drift comparison (it varies machine to machine) but
+kept in the artifact so data-plane speedups are measurable before/after.
 
 ``REPRO_OBS_SLOWDOWN=workload=factor`` scales one workload's recorded
 virtual seconds — a seeded synthetic regression for validating that the
@@ -36,7 +40,7 @@ from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 from repro.obs import BUCKETS
 from repro.obs.critpath import from_tracer
 
-BENCH_SCHEMA = "repro.obs.bench/v2"
+BENCH_SCHEMA = "repro.obs.bench/v3"
 
 _rows: dict[str, dict] = {}  # accumulated across the parametrized cases
 
@@ -55,15 +59,19 @@ def _synthetic_slowdown() -> tuple[str, float]:
         ) from None
 
 
-def _engine_entry(tracer, virtual_seconds):
+def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0):
     jobs = tracer.blame.jobs() if tracer is not None else []
     blame = (
         tracer.blame.job_summary(jobs[0]) if jobs else {b: 0.0 for b in BUCKETS}
     )
+    blame_total = tracer.blame.job_total(jobs[0]) if jobs else 0.0
     critpath = from_tracer(tracer).rollup if tracer is not None else {}
     return {
         "virtual_seconds": round(virtual_seconds, 6),
+        # wall_seconds is informational: host time, excluded from diffing
+        "wall_seconds": round(wall_seconds, 4),
         "blame": {bucket: round(blame[bucket], 6) for bucket in sorted(blame)},
+        "blame_total": round(blame_total, 6),
         "critpath": {key: round(sec, 6) for key, sec in sorted(critpath.items())},
     }
 
@@ -79,9 +87,13 @@ def run_row(name: str, fidelity: str, engines: str = "both") -> dict:
         "speedup": round(row.speedup, 4) if engines == "both" else None,
     }
     if engines in ("both", "hamr"):
-        entry["hamr"] = _engine_entry(row.hamr_obs, row.hamr_seconds * factor)
+        entry["hamr"] = _engine_entry(
+            row.hamr_obs, row.hamr_seconds * factor, row.hamr_wall_seconds
+        )
     if engines in ("both", "hadoop"):
-        entry["hadoop"] = _engine_entry(row.hadoop_obs, row.idh_seconds * factor)
+        entry["hadoop"] = _engine_entry(
+            row.hadoop_obs, row.idh_seconds * factor, row.hadoop_wall_seconds
+        )
     return entry
 
 
@@ -139,7 +151,7 @@ def test_write_bench_obs_json(fidelity, workloads_filter, engines_filter):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Traced Table 2 bench artifact (repro.obs.bench/v2)."
+        description="Traced Table 2 bench artifact (repro.obs.bench/v3)."
     )
     parser.add_argument(
         "--fidelity",

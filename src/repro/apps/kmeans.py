@@ -21,15 +21,7 @@ from dataclasses import dataclass
 
 from repro.apps.base import AppEnv, AppResult
 from repro.common.partitioner import ModPartitioner
-from repro.core import (
-    EdgeMode,
-    FlowletGraph,
-    Loader,
-    LocalFSSource,
-    Map,
-    PartialReduce,
-    Reduce,
-)
+from repro.core import EdgeMode, FlowletGraph, Loader, LocalFSSource, Map, Reduce
 from repro.data.movies import cosine_similarity, movie_corpus, parse_movie_line
 from repro.mapreduce import Mapper, MRJob, Reducer
 

@@ -22,7 +22,6 @@ reports 13.6x.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 from repro.apps.base import AppEnv, AppResult
 from repro.core import (

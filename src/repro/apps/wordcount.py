@@ -16,7 +16,6 @@ from repro.apps.base import AppEnv, AppResult
 from repro.core import (
     EdgeMode,
     FlowletGraph,
-    HamrEngine,
     Loader,
     LocalFSSource,
     Map,

@@ -16,8 +16,8 @@ JVM per node instead of one JVM per task" (§5.2).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
 
 from repro.common.errors import ConfigError
 from repro.cluster.node import Node

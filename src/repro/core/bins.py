@@ -5,52 +5,68 @@ producers pack emitted key-value pairs into per-(edge, partition) bins;
 a sealed bin is shipped through the shuffle to the partition's owner node,
 where it lands in the destination flowlet's bounded inbox and enables one
 fine-grain flowlet task.
+
+A :class:`Bin` is a routed :class:`~repro.dataplane.RecordBatch`: the
+shared data plane supplies the records, the cached logical byte count and
+the scale-model ``aggregated`` flag; the bin adds the routing state
+(edge, partition) and the combiner / trace bookkeeping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.common.sizeof import pair_size
+from repro.dataplane.batch import RecordBatch
 
 
-@dataclass
-class Bin:
+class Bin(RecordBatch):
     """A packed batch of key-value pairs bound for one (edge, partition).
 
     ``aggregated`` marks key-space-bounded aggregate data, charged
     unscaled under the scale model (see ``Flowlet.aggregated_output``).
     """
 
-    edge_id: int
-    partition: int
-    pairs: list[tuple[Any, Any]] = field(default_factory=list)
-    nbytes: int = 0  # real logical bytes
-    aggregated: bool = False
-    #: original record count this bin stands for (set by combiners; 0 = its
-    #: own pair count). Accumulator-update pressure follows the original
-    #: records — Table 3's finding is that combining shrinks shuffle volume
-    #: but not the serialized accumulator path.
-    represents: int = 0
-    #: id of the ship span that delivered this bin (0 when untraced); the
-    #: consuming task emits a shuffle producer -> consumer causal edge
-    trace_src: int = 0
+    __slots__ = ("edge_id", "partition", "represents", "trace_src")
+
+    def __init__(
+        self,
+        edge_id: int,
+        partition: int,
+        pairs: Optional[list[tuple[Any, Any]]] = None,
+        nbytes: int = 0,
+        aggregated: bool = False,
+        represents: int = 0,
+        trace_src: int = 0,
+    ):
+        super().__init__(
+            pairs if pairs is not None else [], nbytes=nbytes, aggregated=aggregated
+        )
+        self.edge_id = edge_id
+        self.partition = partition
+        #: original record count this bin stands for (set by combiners; 0 =
+        #: its own pair count). Accumulator-update pressure follows the
+        #: original records — Table 3's finding is that combining shrinks
+        #: shuffle volume but not the serialized accumulator path.
+        self.represents = represents
+        #: id of the ship span that delivered this bin (0 when untraced);
+        #: the consuming task emits a shuffle producer -> consumer edge
+        self.trace_src = trace_src
+
+    @property
+    def pairs(self) -> list[tuple[Any, Any]]:
+        return self.records
 
     @property
     def effective_records(self) -> int:
-        return self.represents or len(self.pairs)
+        return self.represents or len(self.records)
 
-    @property
-    def nrecords(self) -> int:
-        return len(self.pairs)
-
-    def append(self, key: Any, value: Any) -> None:
-        self.pairs.append((key, value))
-        self.nbytes += pair_size(key, value)
+    def append(self, key: Any, value: Any) -> None:  # type: ignore[override]
+        self.records.append((key, value))
+        self._nbytes += pair_size(key, value)
 
     def __iter__(self) -> Iterator[tuple[Any, Any]]:
-        return iter(self.pairs)
+        return iter(self.records)
 
 
 class BinPacker:

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional, TYPE_CHECKING
 
 from repro.common.errors import GraphError
-from repro.common.sizeof import logical_sizeof
 from repro.core.bins import Bin, BinPacker
 from repro.core.graph import Edge, EdgeMode
 

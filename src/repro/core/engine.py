@@ -19,12 +19,13 @@ from typing import Any, Optional
 
 from repro.common.errors import ConfigError, JobError, ReproError, SimulationError
 from repro.common.partitioner import HashPartitioner
-from repro.common.units import KB, MB
+from repro.common.units import KB
 from repro.cluster.cluster import Cluster
-from repro.core.flowlet import Flowlet, FlowletKind
+from repro.core.flowlet import Flowlet
 from repro.core.graph import FlowletGraph
 from repro.core.runtime import NodeRuntime
 from repro.core.sources import SourceSplit
+from repro.dataplane import SpillPool
 from repro.obs import STARTUP
 from repro.storage.kvstore import KVStore
 from repro.storage.localfs import LocalFS
@@ -105,6 +106,7 @@ class HamrEngine:
         }
         # Per-run state
         self.graph: Optional[FlowletGraph] = None
+        self.spill_pool: Optional[SpillPool] = None
         self.runtimes: list[NodeRuntime] = []
         self.metrics: dict[str, float] = {}
         self._outputs: dict[str, list[tuple[Any, Any]]] = {}
@@ -187,6 +189,9 @@ class HamrEngine:
             elif edge.partitioner.num_partitions < 1:  # pragma: no cover - guarded upstream
                 raise ConfigError("edge partitioner must have >= 1 partition")
         self._assign_splits(graph)
+        # One spill pool per job: every node's runtime draws its
+        # SpillManager from here, sharing an id space with the baseline.
+        self.spill_pool = SpillPool(job=graph.name)
         self.runtimes = [NodeRuntime(self, index) for index in range(self.num_workers)]
 
     def _assign_splits(self, graph: FlowletGraph) -> None:

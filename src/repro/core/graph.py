@@ -19,8 +19,8 @@ plus an optional per-edge combiner and partitioner.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.errors import GraphError
 from repro.common.partitioner import Partitioner

@@ -16,7 +16,7 @@ rather than silent.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.common.errors import JobError, ReproError

@@ -30,11 +30,11 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.common.errors import JobError
-from repro.common.sizeof import logical_sizeof, pair_size
 from repro.core.bins import Bin, BinPacker
-from repro.core.context import BROADCAST_PARTITION, TaskContext
+from repro.core.context import TaskContext
+from repro.dataplane import RecordBatch, chunk_records, exchange_targets, pair_nbytes, spill_batch
 from repro.core.flowlet import Flowlet, FlowletKind, FlowletStatus, Loader, Map, PartialReduce, Reduce
-from repro.core.graph import Edge, EdgeMode
+from repro.core.graph import Edge
 from repro.core.sources import SourceSplit
 from repro.obs import (
     ATOMIC,
@@ -49,7 +49,6 @@ from repro.obs import (
 )
 from repro.sim import QueueClosed, Resource, SerializedCell, SimQueue
 from repro.sim.core import SimEvent
-from repro.storage.spill import SpillManager
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import HamrEngine
@@ -116,6 +115,10 @@ class FlowletInstance:
         # Reduce state
         self.groups: dict[Any, list[Any]] = {}
         self.group_bytes = 0  # real logical bytes resident in `groups`
+        # Raw (pre-division) logical bytes in `groups` since the last
+        # spill: the sum of the collected bins' cached sizes, so spilling
+        # the grouped store never re-sizes its pairs.
+        self.group_raw_bytes = 0
         self.spill_runs: list = []
         # Partial-reduce state
         self.accs: dict[Any, Any] = {}
@@ -185,7 +188,10 @@ class NodeRuntime:
         )
         self.obs = self.node.obs
         self.job = engine.graph.name if engine.graph is not None else None
-        self.spill = SpillManager(self.node, job=self.job)
+        # Per-node spill manager from the job's shared dataplane pool
+        # (the MapReduce baseline draws from the same kind of pool, so
+        # spill-file ids and blame attribution line up across engines).
+        self.spill = engine.spill_pool.for_node(self.node)
         self.stalls_total = 0  # flow-control stalls by this node's tasks
         # Last task span finished on this node (0 = none): stalled
         # producers blame their wait on the consumer node's most recent
@@ -293,29 +299,25 @@ class NodeRuntime:
             lease.release()
             self.loader_slots.release()
 
-    def _process_loaded(self, instance: FlowletInstance, records: list, lease: ThreadLease, span=None):
-        """Run loader user code chunk-by-chunk so output pipelines finely."""
+    def _process_loaded(self, instance: FlowletInstance, records, lease: ThreadLease, span=None):
+        """Run loader user code chunk-by-chunk so output pipelines finely.
+
+        ``records`` may be a plain list or a pre-sized
+        :class:`~repro.dataplane.RecordBatch` (a DFS block read) — a batch
+        that fits in one loader chunk passes through without re-sizing.
+        """
         flowlet = instance.flowlet
-        chunk_bytes = self.engine.config.loader_chunk_bytes
-        chunk: list = []
-        size = 0
-        chunks = []
-        for record in records:
-            chunk.append(record)
-            size += logical_sizeof(record)
-            if size >= chunk_bytes:
-                chunks.append((chunk, size))
-                chunk, size = [], 0
-        if chunk:
-            chunks.append((chunk, size))
+        chunks = chunk_records(records, self.engine.config.loader_chunk_bytes)
         obs, sim = self.obs, self.sim
-        for chunk, size in chunks:
+        for batch in chunks:
             instance.tasks_run += 1
             t0 = sim.now
-            yield self.node.record_compute(len(chunk), size, flowlet.compute_factor)
+            yield self.node.record_compute(
+                batch.nrecords, batch.nbytes, flowlet.compute_factor
+            )
             if obs.enabled:
                 obs.charge(self.job, COMPUTE, sim.now - t0, node=self.node.node_id, span=span)
-            flowlet.load(instance.ctx, chunk)
+            flowlet.load(instance.ctx, batch.records)
             yield from self._drain_ctx(instance, lease, span)
 
     # -- map / partial reduce -----------------------------------------------------------
@@ -407,7 +409,7 @@ class NodeRuntime:
         acc_div = self._divisor(flowlet.aggregated_output)
         delta = 0
         for key in touched:
-            new_size = pair_size(key, instance.accs[key])
+            new_size = pair_nbytes(key, instance.accs[key])
             delta += new_size - instance.acc_bytes.get(key, 0)
             instance.acc_bytes[key] = new_size
         if delta > 0 and not self.node.alloc(delta / acc_div):
@@ -435,16 +437,22 @@ class NodeRuntime:
         self, instance: FlowletInstance, flowlet: PartialReduce, extra: int, span=None
     ):
         # Snapshot and clear synchronously (no yields) so concurrent fold
-        # tasks never double-spill or double-free.
+        # tasks never double-spill or double-free. The per-key size ledger
+        # already holds every pair's size, so the spilled batch carries
+        # its byte count instead of being re-sized.
         acc_div = self._divisor(flowlet.aggregated_output)
-        resident = (sum(instance.acc_bytes.values()) - extra) / acc_div
-        pairs = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
+        raw_bytes = sum(instance.acc_bytes.values())
+        resident = (raw_bytes - extra) / acc_div
+        batch = RecordBatch(
+            sorted(instance.accs.items(), key=lambda kv: repr(kv[0])),
+            nbytes=raw_bytes,
+        )
         instance.accs = {}
         instance.acc_bytes = {}
         if resident > 0:
             self.node.free(resident)
-        run = yield from self.spill.spill(
-            pairs, sorted_by_key=True, free_memory=False, parent=span
+        run = yield from spill_batch(
+            self.spill, batch, sorted_by_key=True, parent=span
         )
         instance.acc_spill_runs.append(run)
         self.engine.metrics["acc_spills"] = self.engine.metrics.get("acc_spills", 0) + 1
@@ -477,17 +485,18 @@ class NodeRuntime:
                         else:
                             instance.accs[key] = acc
                 acc_div = self._divisor(flowlet.aggregated_output)
-                items = sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
-                nbytes = sum(pair_size(k, v) for k, v in items)
+                batch = RecordBatch(
+                    sorted(instance.accs.items(), key=lambda kv: repr(kv[0]))
+                )
                 t0 = self.sim.now
                 yield self.node.record_compute(
-                    len(items) / acc_div, nbytes / acc_div, flowlet.compute_factor
+                    batch.nrecords / acc_div, batch.nbytes / acc_div, flowlet.compute_factor
                 )
                 if obs.enabled:
                     obs.charge(
                         self.job, COMPUTE, self.sim.now - t0, node=node_id, span=fspan
                     )
-                for key, acc in items:
+                for key, acc in batch:
                     flowlet.finalize(instance.ctx, key, acc)
                 resident = sum(instance.acc_bytes.values()) / acc_div
                 if resident > 0:
@@ -563,10 +572,14 @@ class NodeRuntime:
             yield from self._spill_groups(instance, span)
             if not self.node.alloc(adj_bytes):
                 # Even an empty store cannot hold this bin (scaled size over
-                # budget): stream it straight to disk as its own run.
-                pairs = sorted(bin_.pairs, key=lambda kv: repr(kv[0]))
-                run = yield from self.spill.spill(
-                    pairs, sorted_by_key=True, free_memory=False, parent=span
+                # budget): stream it straight to disk as its own run; the
+                # bin's cached size rides along (sorting doesn't change it).
+                batch = RecordBatch(
+                    sorted(bin_.pairs, key=lambda kv: repr(kv[0])),
+                    nbytes=bin_.nbytes,
+                )
+                run = yield from spill_batch(
+                    self.spill, batch, sorted_by_key=True, parent=span
                 )
                 instance.spill_runs.append(run)
                 self.engine.metrics["reduce_spills"] = (
@@ -574,12 +587,15 @@ class NodeRuntime:
                 )
                 return
         instance.group_bytes += adj_bytes
+        instance.group_raw_bytes += bin_.nbytes
         for key, value in bin_:
             instance.groups.setdefault(key, []).append(value)
 
     def _spill_groups(self, instance: FlowletInstance, span=None):
         # Snapshot and clear synchronously (no yields) so concurrent
-        # collect tasks never double-spill or double-free.
+        # collect tasks never double-spill or double-free. The grouped
+        # store's raw byte count was accumulated bin-by-bin at collect
+        # time, so the spilled batch is never re-sized.
         pairs = []
         for key in sorted(instance.groups, key=repr):
             for value in instance.groups[key]:
@@ -587,11 +603,16 @@ class NodeRuntime:
         if not pairs:
             return
         freed = instance.group_bytes
+        raw_bytes = instance.group_raw_bytes
         instance.group_bytes = 0
+        instance.group_raw_bytes = 0
         instance.groups = {}
         self.node.free(freed)
-        run = yield from self.spill.spill(
-            pairs, sorted_by_key=True, free_memory=False, parent=span
+        run = yield from spill_batch(
+            self.spill,
+            RecordBatch(pairs, nbytes=raw_bytes),
+            sorted_by_key=True,
+            parent=span,
         )
         instance.spill_runs.append(run)
         self.engine.metrics["reduce_spills"] = self.engine.metrics.get("reduce_spills", 0) + 1
@@ -611,28 +632,32 @@ class NodeRuntime:
             for key, value in pairs:
                 instance.groups.setdefault(key, []).append(value)
         instance.spill_runs = []
-        # Fine-grain execution: chunk the key space into tasks.
+        # Fine-grain execution: chunk the key space into tasks. Each
+        # key's group is sized exactly once here; the chunk carries its
+        # record/byte totals so reduce tasks never re-size their input.
         keys = sorted(instance.groups, key=repr)
         chunk_limit = self.engine.config.reduce_task_bytes
-        chunks: list[list[Any]] = []
+        chunks: list[tuple[list[Any], int, int]] = []  # (keys, nrecords, nbytes)
         chunk: list[Any] = []
+        nrecords = 0
         size = 0
         for key in keys:
             values = instance.groups[key]
-            kv_bytes = sum(pair_size(key, v) for v in values)
+            kv_bytes = sum(pair_nbytes(key, v) for v in values)
             chunk.append(key)
+            nrecords += len(values)
             size += kv_bytes
             if size >= chunk_limit:
-                chunks.append(chunk)
-                chunk, size = [], 0
+                chunks.append((chunk, nrecords, size))
+                chunk, nrecords, size = [], 0, 0
         if chunk:
-            chunks.append(chunk)
+            chunks.append((chunk, nrecords, size))
         tasks = []
-        for chunk in chunks:
+        for chunk_info in chunks:
             lease = ThreadLease(self.node.threads)
             yield lease.acquire()
             task = self.sim.spawn(
-                self._reduce_task(instance, chunk, lease, deps),
+                self._reduce_task(instance, chunk_info, lease, deps),
                 name=f"{flowlet.name}@n{self.node.node_id}.reduce",
             )
             tasks.append(task)
@@ -645,11 +670,16 @@ class NodeRuntime:
         instance.groups = {}
 
     def _reduce_task(
-        self, instance: FlowletInstance, keys: list, lease: ThreadLease, deps=()
+        self,
+        instance: FlowletInstance,
+        chunk_info: tuple[list, int, int],
+        lease: ThreadLease,
+        deps=(),
     ):
         flowlet = instance.flowlet
         assert isinstance(flowlet, Reduce)
         instance.tasks_run += 1
+        keys, nrecords, nbytes = chunk_info
         obs, sim, node_id = self.obs, self.sim, self.node.node_id
         try:
             with obs.span(
@@ -659,10 +689,6 @@ class NodeRuntime:
                 for dep in deps:
                     obs.edge(dep, rspan, EDGE_BARRIER)
                 div = self._divisor(bool(instance.input_aggregated))
-                nrecords = sum(len(instance.groups[k]) for k in keys)
-                nbytes = sum(
-                    pair_size(k, v) for k in keys for v in instance.groups[k]
-                )
                 t0 = sim.now
                 yield self.node.record_compute(
                     nrecords / div, nbytes / div, flowlet.compute_factor
@@ -713,7 +739,7 @@ class NodeRuntime:
             return
         pairs, ctx.output_pairs = ctx.output_pairs, []
         div = self._divisor(instance.flowlet.aggregated_output)
-        nbytes = sum(pair_size(k, v) for k, v in pairs) / div
+        nbytes = RecordBatch(pairs).nbytes / div
         if self.engine.config.charge_sink_disk:
             obs, sim = self.obs, self.sim
             t0 = sim.now
@@ -753,15 +779,17 @@ class NodeRuntime:
             for key, value in combined:
                 new_bin.append(key, value)
             bin_ = new_bin
-        if edge.mode is EdgeMode.BROADCAST or bin_.partition == BROADCAST_PARTITION:
-            targets = list(range(self.engine.num_workers))
-        elif edge.mode is EdgeMode.LOCAL:
-            targets = [self.worker_index]
-        else:
-            owner = self.engine.cluster.owner_of_partition(
-                bin_.partition, edge.partitioner.num_partitions
-            )
-            targets = [self.engine.worker_index_of(owner)]
+        targets = exchange_targets(
+            edge.mode.value,
+            bin_.partition,
+            worker_index=self.worker_index,
+            num_workers=self.engine.num_workers,
+            owner_of=lambda p: self.engine.worker_index_of(
+                self.engine.cluster.owner_of_partition(
+                    p, edge.partitioner.num_partitions
+                )
+            ),
+        )
         # Serialization cost once (broadcast reuses the wire image).
         ship_div = self._divisor(bin_.aggregated)
         t0 = sim.now

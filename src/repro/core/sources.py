@@ -11,7 +11,7 @@ parallelism — each with locality hints and a charged ``read`` process.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof

@@ -1,0 +1,159 @@
+"""Batch-aware data-motion helpers: partition, exchange, spill.
+
+These are the operations the two engines used to re-implement
+independently — hash-partitioning map output, resolving a shuffle
+partition to its destination workers, and staging over-budget payloads
+through the node-local spill store. Factoring them here is what makes
+the cross-engine comparison trustworthy: one partitioning pass, one
+target-resolution rule, one spill-id space per node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.common.sizeof import pair_size
+from repro.dataplane.batch import RecordBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.storage.spill import SpillManager, SpillRun
+
+__all__ = [
+    "partition_batch",
+    "exchange_targets",
+    "spill_batch",
+    "SpillPool",
+    "SHUFFLE",
+    "LOCAL",
+    "BROADCAST",
+]
+
+#: exchange modes (string values match ``repro.core.graph.EdgeMode`` —
+#: the dataplane sits below the engines and cannot import them)
+SHUFFLE = "shuffle"
+LOCAL = "local"
+BROADCAST = "broadcast"
+
+#: partition id meaning "every worker" (mirrors core.context.BROADCAST_PARTITION)
+BROADCAST_PARTITION = -1
+
+
+def partition_batch(
+    pairs: Iterable[tuple[Any, Any]],
+    partitioner,
+    *,
+    aggregated: bool = False,
+) -> dict[int, RecordBatch]:
+    """Split key-value pairs into per-partition batches, sized as they go.
+
+    One pass computes both the partition assignment and each partition's
+    logical byte count, replacing the separate partition-then-re-size
+    loops both engines carried. Only non-empty partitions appear in the
+    result; pair order within a partition is input order.
+    """
+    part = partitioner.partition
+    batches: dict[int, RecordBatch] = {}
+    sizes: dict[int, int] = {}
+    for pair in pairs:
+        p = part(pair[0])
+        batch = batches.get(p)
+        if batch is None:
+            batch = batches[p] = RecordBatch()
+            sizes[p] = 0
+        batch.records.append(pair)
+        sizes[p] += pair_size(pair[0], pair[1])
+    for p, batch in batches.items():
+        batch._nbytes = sizes[p]
+        batch.aggregated = aggregated
+    return batches
+
+
+def exchange_targets(
+    mode: str,
+    partition: int,
+    *,
+    worker_index: int,
+    num_workers: int,
+    owner_of: Optional[Callable[[int], int]] = None,
+) -> list[int]:
+    """Destination worker indices for one sealed payload.
+
+    ``mode`` is one of :data:`SHUFFLE` / :data:`LOCAL` / :data:`BROADCAST`;
+    a :data:`BROADCAST_PARTITION` partition broadcasts regardless of mode
+    (control data emitted onto shuffle edges). ``owner_of`` maps a
+    partition id to the worker index owning it (required for shuffles).
+    """
+    if mode == BROADCAST or partition == BROADCAST_PARTITION:
+        return list(range(num_workers))
+    if mode == LOCAL:
+        return [worker_index]
+    if mode == SHUFFLE:
+        if owner_of is None:
+            raise ValueError("shuffle exchange requires an owner_of resolver")
+        return [owner_of(partition)]
+    raise ValueError(f"unknown exchange mode {mode!r}")
+
+
+def spill_batch(
+    manager: "SpillManager",
+    batch: RecordBatch,
+    *,
+    sorted_by_key: bool = False,
+    free_memory: bool = False,
+    parent=None,
+):
+    """Process: stage one batch through the node-local spill store.
+
+    Passes the batch's cached size through so the spill layer never
+    re-sizes records the producer already accounted. Returns the
+    manager's :class:`~repro.storage.spill.SpillRun`.
+    """
+    return manager.spill(
+        batch.records,
+        sorted_by_key=sorted_by_key,
+        free_memory=free_memory,
+        nbytes=batch.nbytes,
+        parent=parent,
+    )
+
+
+class SpillPool:
+    """Per-node spill managers for one job, shared by everything on the node.
+
+    The flowlet runtime always ran one :class:`SpillManager` per node;
+    the MapReduce baseline used to construct one per reduce *task*,
+    giving the two engines different spill-file id spaces and blame
+    attribution. Both now draw managers from a pool like this one:
+    every task on a node sees the same manager, so run ids count up
+    per node and charges land on one ledger entry per node.
+    """
+
+    def __init__(self, job: Optional[str] = None):
+        self.job = job
+        self._managers: dict[int, "SpillManager"] = {}
+
+    def for_node(self, node: "Node") -> "SpillManager":
+        manager = self._managers.get(node.node_id)
+        if manager is None:
+            from repro.storage.spill import SpillManager
+
+            manager = SpillManager(node, job=self.job)
+            self._managers[node.node_id] = manager
+        return manager
+
+    @property
+    def managers(self) -> list["SpillManager"]:
+        return [self._managers[k] for k in sorted(self._managers)]
+
+    @property
+    def bytes_spilled(self) -> int:
+        return sum(m.bytes_spilled for m in self._managers.values())
+
+    @property
+    def bytes_read_back(self) -> int:
+        return sum(m.bytes_read_back for m in self._managers.values())
+
+    @property
+    def runs_created(self) -> int:
+        return sum(m.runs_created for m in self._managers.values())

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -28,6 +29,10 @@ class BenchmarkRow:
     #: observability tracers of the two runs (None unless ``obs=True``)
     hamr_obs: "Optional[Tracer]" = field(default=None, repr=False)
     hadoop_obs: "Optional[Tracer]" = field(default=None, repr=False)
+    #: real wall-clock elapsed seconds per engine run (host time, not the
+    #: virtual clock — varies run to run, excluded from drift comparisons)
+    hamr_wall_seconds: float = 0.0
+    hadoop_wall_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -55,13 +60,18 @@ def run_workload(workload: Workload, engines: str = "both", obs: bool = False) -
     """
     hamr_result = hadoop_result = None
     hamr_obs = hadoop_obs = None
+    hamr_wall = hadoop_wall = 0.0
     if engines in ("both", "hamr"):
         env = workload.fresh_env(obs=obs)
+        t0 = time.perf_counter()
         hamr_result = workload.run_hamr(env, workload.params, workload.records)
+        hamr_wall = time.perf_counter() - t0
         hamr_obs = env.obs if obs else None
     if engines in ("both", "hadoop"):
         env = workload.fresh_env(obs=obs)
+        t0 = time.perf_counter()
         hadoop_result = workload.run_hadoop(env, workload.params, workload.records)
+        hadoop_wall = time.perf_counter() - t0
         hadoop_obs = env.obs if obs else None
     return BenchmarkRow(
         name=workload.name,
@@ -74,4 +84,6 @@ def run_workload(workload: Workload, engines: str = "both", obs: bool = False) -
         hadoop_result=hadoop_result,
         hamr_obs=hamr_obs,
         hadoop_obs=hadoop_obs,
+        hamr_wall_seconds=hamr_wall,
+        hadoop_wall_seconds=hadoop_wall,
     )

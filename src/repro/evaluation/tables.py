@@ -10,11 +10,11 @@ paper-vs-measured columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.spec import PAPER_CLUSTER, ClusterSpec
 from repro.common.units import format_bytes
-from repro.evaluation.paper import PAPER_TABLE2, PAPER_TABLE3
+from repro.evaluation.paper import PAPER_TABLE3
 from repro.evaluation.report import render_table
 from repro.evaluation.runner import BenchmarkRow, run_workload
 from repro.evaluation.workloads import (

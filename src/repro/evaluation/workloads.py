@@ -21,7 +21,7 @@ from repro.apps import classification, histograms, kcliques, kmeans, naive_bayes
 from repro.apps.base import AppEnv, AppResult
 from repro.cluster.spec import ClusterSpec, paper_cluster_spec
 from repro.common.sizeof import logical_sizeof
-from repro.common.units import GB, MB, parse_bytes
+from repro.common.units import MB, parse_bytes
 
 _FIDELITY_BUDGET = {"tiny": 0.1, "small": 1.0, "medium": 4.0}
 

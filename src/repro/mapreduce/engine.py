@@ -24,16 +24,15 @@ from typing import Any, Optional
 
 from repro.common.errors import JobError, ReproError, SimulationError
 from repro.common.partitioner import HashPartitioner
-from repro.common.sizeof import pair_size
 from repro.cluster.cluster import Cluster
 from repro.cluster.memory import MemoryAccount
 from repro.cluster.placement import assign_splits
+from repro.dataplane import RecordBatch, SpillPool, partition_batch, spill_batch
 from repro.mapreduce.api import MRContext, MRJob
 from repro.obs import COMPUTE, DISK, EDGE_BARRIER, EDGE_SHUFFLE, NETWORK, STARTUP
 from repro.sim import Resource
 from repro.sim.core import SimEvent
 from repro.storage.dfs import DFS
-from repro.storage.spill import SpillManager
 
 
 @dataclass
@@ -87,8 +86,9 @@ class _MapOutput:
 
     def __init__(self, node, num_partitions: int, done: SimEvent, aggregated: bool = False):
         self.node = node
-        self.partitions: dict[int, tuple[list, int]] = {
-            p: ([], 0) for p in range(num_partitions)
+        self.partitions: dict[int, RecordBatch] = {
+            p: RecordBatch(nbytes=0, aggregated=aggregated)
+            for p in range(num_partitions)
         }
         self.done = done
         self.aggregated = aggregated
@@ -210,13 +210,19 @@ class HadoopEngine:
             return
 
         # -- reduce wave (fetch overlaps the map wave; compute barriers) ------------
+        # One spill pool per job: reducers co-located on a node share one
+        # SpillManager (matching the flowlet runtime), so spill-run ids
+        # and blame attribution line up across the two engines.
+        spill_pool = SpillPool(job=job.name)
         reduce_processes = []
         for r in range(num_reducers):
             worker_index = r % self.num_workers
             node = self.cluster.worker(worker_index)
             reduce_processes.append(
                 sim.spawn(
-                    self._reduce_task(job, r, node, slots[worker_index], map_outputs, state),
+                    self._reduce_task(
+                        job, r, node, slots[worker_index], map_outputs, spill_pool, state
+                    ),
                     name=f"{job.name}.reduce{r}",
                 )
             )
@@ -362,22 +368,25 @@ class HadoopEngine:
                 pairs = ctx.take()
                 self._merge_counters(state, ctx)
 
-                # Partition, sort, optionally combine — then materialize on disk.
-                by_partition: dict[int, list] = {}
-                for key, value in pairs:
-                    by_partition.setdefault(partitioner.partition(key), []).append((key, value))
+                # Partition, sort, optionally combine — then materialize on
+                # disk. The dataplane partitions and sizes in one pass; the
+                # pre-combine (sort-buffer) volume is the partition sizes'
+                # sum, so map output is never re-sized pair by pair.
+                by_partition = partition_batch(
+                    pairs, partitioner, aggregated=out.aggregated
+                )
+                raw_bytes = sum(b.nbytes for b in by_partition.values())
                 total_bytes = 0
-                total_records = 0
-                for p, plist in by_partition.items():
-                    plist.sort(key=lambda kv: repr(kv[0]))
+                for p, batch in by_partition.items():
+                    batch.sort(key=lambda kv: repr(kv[0]))
                     if job.combiner is not None:
-                        plist = job.combiner.apply(plist)
-                    nbytes = sum(pair_size(k, v) for k, v in plist)
-                    out.partitions[p] = (plist, nbytes)
-                    total_bytes += nbytes
-                    total_records += len(plist)
+                        batch = RecordBatch(
+                            job.combiner.apply(batch.records),
+                            aggregated=batch.aggregated,
+                        )
+                    out.partitions[p] = batch
+                    total_bytes += batch.nbytes
                 # Sort CPU over the pre-combine volume, spill count from buffer size.
-                raw_bytes = sum(pair_size(k, v) for k, v in pairs)
                 t0 = sim.now
                 yield node.record_compute(
                     len(pairs) / in_div, raw_bytes / in_div, cost.hadoop_sort_factor
@@ -413,7 +422,16 @@ class HadoopEngine:
 
     # -- reduce task -------------------------------------------------------------------------
 
-    def _reduce_task(self, job: MRJob, r: int, node, slot: Resource, map_outputs: list, state: dict):
+    def _reduce_task(
+        self,
+        job: MRJob,
+        r: int,
+        node,
+        slot: Resource,
+        map_outputs: list,
+        spill_pool: SpillPool,
+        state: dict,
+    ):
         sim = self.cluster.sim
         cost = self.cost
         obs = self.obs
@@ -430,18 +448,18 @@ class HadoopEngine:
                 heap = MemoryAccount(
                     cost.hadoop_reduce_memory, name=f"{job.name}.r{r}.heap"
                 )
-                spill = SpillManager(node, job=job.name)
-                segments: list[list] = []
+                spill = spill_pool.for_node(node)
+                segments: list[RecordBatch] = []
                 resident_bytes = 0  # bytes in `segments` (for merge accounting)
                 accounted_bytes = 0  # bytes charged against the task heap
                 spill_runs = []
                 shuffled_bytes = 0
                 for out in map_outputs:
                     yield out.done
-                    pairs, raw_nbytes = out.partitions[r]
-                    if not pairs:
+                    segment = out.partitions[r]
+                    if not segment:
                         continue
-                    nbytes = raw_nbytes / (cost.scale if out.aggregated else 1.0)
+                    nbytes = segment.nbytes / (cost.scale if out.aggregated else 1.0)
                     with obs.span(
                         "fetch", "shuffle", node=node.node_id, job=job.name,
                         src_node=out.node.node_id, nbytes=int(nbytes), parent=rspan,
@@ -460,12 +478,16 @@ class HadoopEngine:
                     scaled = cost.scaled_bytes(nbytes)
                     if not heap.allocate(scaled):
                         if segments:
-                            merged = []
+                            # Merge the resident segments into one sorted
+                            # run; its size is the segments' cached sizes
+                            # summed, never a re-sizing pass.
+                            merged = RecordBatch(nbytes=0)
                             for seg in segments:
-                                merged.extend(seg)
+                                merged.records.extend(seg.records)
+                                merged._nbytes += seg.nbytes
                             merged.sort(key=lambda kv: repr(kv[0]))
-                            run = yield from spill.spill(
-                                merged, sorted_by_key=True, free_memory=False, parent=rspan
+                            run = yield from spill_batch(
+                                spill, merged, sorted_by_key=True, parent=rspan
                             )
                             spill_runs.append(run)
                             heap.free(accounted_bytes)
@@ -479,7 +501,7 @@ class HadoopEngine:
                         # modeling the JVM running right at its heap ceiling
                     else:
                         accounted_bytes += scaled
-                    segments.append(pairs)
+                    segments.append(segment)
                     resident_bytes += nbytes
                 state["metrics"]["shuffled_bytes"] = (
                     state["metrics"].get("shuffled_bytes", 0) + shuffled_bytes
@@ -544,7 +566,7 @@ class HadoopEngine:
         for i, out in enumerate(map_outputs):
             pairs = []
             for p in sorted(out.partitions):
-                pairs.extend(out.partitions[p][0])
+                pairs.extend(out.partitions[p].records)
             part_name = f"{job.output_file}/part-m-{i:05d}"
             part_names.append(part_name)
             if self.config.collect_outputs:

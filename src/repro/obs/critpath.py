@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro.obs.blame import BUCKETS
-from repro.obs.spans import Span, SpanEdge, Tracer
+from repro.obs.spans import SpanEdge, Tracer
 
 #: synthetic rollup keys alongside the blame buckets
 WAIT = "wait"  # inter-segment scheduling slack on the path

@@ -7,7 +7,7 @@ reduce accumulators; evaluating one raises :class:`SQLError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.common.errors import ReproError

@@ -29,7 +29,6 @@ from repro.sql.ast import (
     BinOp,
     Column,
     Expr,
-    Literal,
     Neg,
     Not,
     Query,

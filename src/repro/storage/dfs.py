@@ -15,12 +15,13 @@ the (smaller) real volume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
+from repro.dataplane.batch import BatchBuilder, RecordBatch
 from repro.obs import DISK, NETWORK
 
 
@@ -120,16 +121,20 @@ class DFS:
             raise StorageError(f"DFS: file {name!r} already exists")
         file = DistributedFile(name)
         self._files[name] = file
-        block_records: list[Any] = []
-        block_bytes = 0
+        builder = BatchBuilder(
+            self.cost.hdfs_block_size,
+            scale_fn=self.cost.scaled_bytes,
+            sizer=self._record_size,
+        )
         for record in records:
-            block_records.append(record)
-            block_bytes += self._record_size(record)
-            if self.cost.scaled_bytes(block_bytes) >= self.cost.hdfs_block_size:
-                self._seal_block(file, block_records, block_bytes)
-                block_records, block_bytes = [], 0
-        if block_records or not file.blocks:
-            self._seal_block(file, block_records, block_bytes)
+            sealed = builder.add(record)
+            if sealed is not None:
+                self._seal_block(file, sealed.records, sealed.nbytes)
+        last = builder.drain()
+        if last is not None:
+            self._seal_block(file, last.records, last.nbytes)
+        elif not file.blocks:
+            self._seal_block(file, [], 0)
         return file
 
     def _seal_block(self, file: DistributedFile, records: list[Any], nbytes: int) -> None:
@@ -161,7 +166,9 @@ class DFS:
         holder's disk plus a network transfer; a local read only the disk.
         ``cost_divisor`` discounts charges for aggregated (key-space-
         bounded) files under the scale model. ``span`` attributes the
-        charges to the calling task's span.
+        charges to the calling task's span. The records come back as a
+        :class:`~repro.dataplane.RecordBatch` carrying the block's cached
+        size, so consumers never re-size them.
         """
         nbytes = block.nbytes / cost_divisor
         self.bytes_read += int(self.cost.scaled_bytes(nbytes))
@@ -182,7 +189,7 @@ class DFS:
             if obs.enabled and job is not None:
                 obs.charge(job, DISK, t1 - t0, node=reader.node_id, span=span)
                 obs.charge(job, NETWORK, sim.now - t1, node=reader.node_id, span=span)
-        return block.records
+        return RecordBatch(block.records, nbytes=block.nbytes)
 
     def write(
         self,
@@ -198,27 +205,33 @@ class DFS:
         Charges: local disk write for the first replica, plus a network send
         and remote disk write per additional replica (HDFS write pipeline).
         ``cost_divisor`` discounts charges for aggregated output files.
-        Returns the created :class:`DistributedFile`.
+        ``records`` may be any sequence, including a
+        :class:`~repro.dataplane.RecordBatch`. Returns the created
+        :class:`DistributedFile`.
         """
         if name in self._files:
             raise StorageError(f"DFS: file {name!r} already exists")
         file = DistributedFile(name)
         self._files[name] = file
 
-        block_records: list[Any] = []
-        block_bytes = 0
+        builder = BatchBuilder(
+            self.cost.hdfs_block_size,
+            scale_fn=lambda nbytes: self.cost.scaled_bytes(nbytes / cost_divisor),
+            sizer=self._record_size,
+        )
         for record in records:
-            block_records.append(record)
-            block_bytes += self._record_size(record)
-            if self.cost.scaled_bytes(block_bytes / cost_divisor) >= self.cost.hdfs_block_size:
+            sealed = builder.add(record)
+            if sealed is not None:
                 yield from self._write_block(
-                    file, block_records, block_bytes, writer, cost_divisor, job, span
+                    file, sealed.records, sealed.nbytes, writer, cost_divisor, job, span
                 )
-                block_records, block_bytes = [], 0
-        if block_records or not file.blocks:
+        last = builder.drain()
+        if last is not None:
             yield from self._write_block(
-                file, block_records, block_bytes, writer, cost_divisor, job, span
+                file, last.records, last.nbytes, writer, cost_divisor, job, span
             )
+        elif not file.blocks:
+            yield from self._write_block(file, [], 0, writer, cost_divisor, job, span)
         return file
 
     def _write_block(

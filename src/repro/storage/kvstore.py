@@ -15,11 +15,11 @@ node, survives.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterator
 
 from repro.common.errors import StorageError
 from repro.common.partitioner import Partitioner
-from repro.common.sizeof import logical_sizeof, pair_size
+from repro.common.sizeof import pair_size
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 

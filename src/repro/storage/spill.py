@@ -10,7 +10,7 @@ serialization time and adjusts the node's memory account.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
@@ -62,16 +62,21 @@ class SpillManager:
         sorted_by_key: bool = False,
         free_memory: bool = True,
         parent: Optional[Span] = None,
+        nbytes: Optional[int] = None,
     ):
         """Process: write ``records`` to a new run, charging serde + disk.
 
         If ``free_memory`` is set, releases the records' logical size from
         the node's memory account (they were resident before the spill).
         ``parent`` is the task span whose data is being spilled (emits a
-        produce edge). Returns the new :class:`SpillRun`.
+        produce edge). ``nbytes`` is the records' logical size when the
+        producer already accounted it (the dataplane's batch-spill path —
+        must equal the per-record sum, which is re-derived otherwise).
+        Returns the new :class:`SpillRun`.
         """
         recs = list(records)
-        nbytes = sum(self._record_size(r) for r in recs)
+        if nbytes is None:
+            nbytes = sum(map(self._record_size, recs))
         run = SpillRun(self._next_id, self.node.node_id, recs, nbytes, sorted_by_key)
         self._next_id += 1
         self._live[run.run_id] = run

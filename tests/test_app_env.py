@@ -1,6 +1,5 @@
 """Tests for the benchmark environment plumbing and workload consistency."""
 
-import pytest
 
 import repro
 from repro.apps.base import AppEnv, AppResult

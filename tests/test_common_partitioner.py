@@ -75,6 +75,46 @@ class TestModPartitioner:
         assert [p.partition(i) for i in range(7)] == [0, 1, 2, 3, 4, 0, 1]
 
 
+class TestPartitionOwnership:
+    """Partitioner x cluster ownership: the shuffle's delivery invariant."""
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_every_partition_owned_exactly_once(self, num_partitions, num_workers):
+        from repro.cluster import Cluster, small_cluster_spec
+
+        cluster = Cluster(small_cluster_spec(num_workers=num_workers))
+        owners = [
+            cluster.owner_of_partition(p, num_partitions).node_id
+            for p in range(num_partitions)
+        ]
+        # Each partition resolves to exactly one worker, so across workers
+        # the partition space is covered exactly once — nothing dropped,
+        # nothing double-delivered.
+        assert len(owners) == num_partitions
+        assert set(owners) <= {w.node_id for w in cluster.workers}
+        per_worker = {w.node_id: 0 for w in cluster.workers}
+        for owner in owners:
+            per_worker[owner] += 1
+        assert sum(per_worker.values()) == num_partitions
+        # Round-robin layout: worker loads differ by at most one.
+        assert max(per_worker.values()) - min(per_worker.values()) <= 1
+
+    @given(keys, st.integers(min_value=1, max_value=6))
+    def test_keys_route_to_their_partitions_owner(self, key, num_workers):
+        from repro.cluster import Cluster, small_cluster_spec
+
+        cluster = Cluster(small_cluster_spec(num_workers=num_workers))
+        partitioner = cluster.default_partitioner()
+        p = partitioner.partition(key)
+        owner = cluster.owner_of_partition(p, partitioner.num_partitions)
+        assert owner.node_id == cluster.owner_of_partition(
+            p, partitioner.num_partitions
+        ).node_id  # deterministic
+
+
 class TestRangePartitioner:
     def test_boundaries(self):
         p = RangePartitioner([10, 20, 30])

@@ -31,6 +31,30 @@ class TestScalars:
     def test_numpy_scalar(self):
         assert logical_sizeof(np.float64(1.0)) == 8
 
+    def test_numpy_scalar_widths(self):
+        assert logical_sizeof(np.int32(7)) == 4
+        assert logical_sizeof(np.int64(7)) == 8
+        assert logical_sizeof(np.float32(1.5)) == 4
+        assert logical_sizeof(np.uint8(3)) == 1
+
+    def test_unicode_counts_code_points(self):
+        # Size is code points, not encoded bytes — multi-byte characters
+        # and astral-plane symbols each count once.
+        assert logical_sizeof("héllo") == 5
+        assert logical_sizeof("日本語") == 3
+        assert logical_sizeof("🎉🎉") == 2
+
+    def test_surrogate_keys_sized_not_encoded(self):
+        # Lone surrogates can't be UTF-8 encoded; sizing must not try.
+        lone = "\ud800" + "x"
+        assert logical_sizeof(lone) == 2
+        assert pair_size(lone, 1) == 4 + 2 + 8
+
+    def test_bool_not_sized_as_int(self):
+        # bool is an int subclass; the bool rule must win the dispatch.
+        assert logical_sizeof(False) == 1
+        assert logical_sizeof((True, 0)) == 4 + 1 + 8
+
 
 class TestContainers:
     def test_tuple_sums_with_overhead(self):
@@ -42,6 +66,23 @@ class TestContainers:
     def test_nested(self):
         nested = [("a", 1), ("bb", 2)]
         assert logical_sizeof(nested) == 4 + (4 + 1 + 8) + (4 + 2 + 8)
+
+    def test_deeply_nested_tuples(self):
+        inner = ("k", (1, (2.0, None)))
+        # innermost: 4 + 8 + 1; middle: 4 + 8 + innermost; outer: 4 + 1 + middle
+        assert logical_sizeof(inner) == 4 + 1 + (4 + 8 + (4 + 8 + 1))
+        assert pair_size("k", (1, (2.0, None))) == logical_sizeof(inner)
+
+    def test_empty_containers_cost_overhead_only(self):
+        assert logical_sizeof(()) == 4
+        assert logical_sizeof([]) == 4
+        assert logical_sizeof({}) == 4
+        assert logical_sizeof(set()) == 4
+        assert logical_sizeof(frozenset()) == 4
+
+    def test_sets_sum_members(self):
+        assert logical_sizeof({1, 2}) == 4 + 8 + 8
+        assert logical_sizeof(frozenset({"ab"})) == 4 + 2
 
     def test_unsupported_raises(self):
         class Opaque:
@@ -90,3 +131,9 @@ class TestProperties:
     @given(st.text(max_size=30), st.integers())
     def test_pair_size_exceeds_parts(self, key, value):
         assert pair_size(key, value) >= logical_sizeof(key) + logical_sizeof(value)
+
+    @given(json_like, json_like)
+    def test_pair_size_is_tuple_size(self, key, value):
+        # The structural identity the dataplane builds on: one batch type
+        # covers record streams and key-value streams alike.
+        assert pair_size(key, value) == logical_sizeof((key, value))

@@ -1,6 +1,5 @@
 """Unit and property tests for repro.common.stats."""
 
-import math
 
 import numpy as np
 import pytest

@@ -8,7 +8,6 @@ from repro.core import (
     DFSSource,
     EdgeMode,
     FlowletGraph,
-    HamrConfig,
     HamrEngine,
     KVStoreSource,
     Loader,

@@ -173,7 +173,7 @@ class TestConfigKnobs:
         g = FlowletGraph("cap")
         loader = g.add(Loader("load", CollectionSource([("a", 1)] * 10)))
         mapper = g.add(Map("m", fn=lambda ctx, k, v: ctx.emit(k, v)))
-        edge = g.connect(loader, mapper, capacity=123.0)
+        g.connect(loader, mapper, capacity=123.0)
         engine = make_engine()
         engine.run(g)
         inbox = engine.runtimes[0].instance("m").inbox
@@ -184,7 +184,6 @@ class TestConfigKnobs:
         # cannot happen from user code; the guard still exists for misuse
         # from within flowlet code.
         engine = make_engine()
-        g = simple_graph([("a", 1)])
 
         class Sneaky(Map):
             def map(self, ctx, k, v):

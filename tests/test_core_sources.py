@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps.base import AppEnv
 from repro.cluster import Cluster, small_cluster_spec
 from repro.common.errors import StorageError
 from repro.core import (

@@ -1,10 +1,8 @@
 """Smoke tests: every example script runs end-to-end and prints sane output."""
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -46,7 +44,9 @@ def test_streaming_wordcount(capsys):
     assert "job finished at t" in out
     assert "final word counts" in out
     # job cannot finish before the last batch at t=8
-    finished_line = next(l for l in out.splitlines() if "job finished" in l)
+    finished_line = next(
+        line for line in out.splitlines() if "job finished" in line
+    )
     t = float(finished_line.split("t = ")[1].split("s")[0])
     assert t >= 8.0
 

@@ -3,7 +3,6 @@ checkpointing, the evaluation CLI, and the ablation helpers."""
 
 import pytest
 
-from repro.apps.base import AppEnv
 from repro.cluster import Cluster, small_cluster_spec
 from repro.core import (
     CollectionSource,

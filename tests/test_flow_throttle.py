@@ -1,6 +1,5 @@
 """Tests for the adaptive loader throttle (§2's flow-control knob)."""
 
-import pytest
 
 from repro.cluster import Cluster, ClusterSpec, CostModel, NodeSpec
 from repro.core import (

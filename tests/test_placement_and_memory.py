@@ -10,7 +10,6 @@ from repro.apps import kcliques
 from repro.apps.base import AppEnv
 from repro.cluster import Cluster, small_cluster_spec
 from repro.cluster.placement import assign_splits
-from repro.core.sources import CollectionSource
 
 
 class _FakeSplit:

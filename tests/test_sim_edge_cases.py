@@ -5,16 +5,7 @@ import pytest
 
 from repro.common.errors import SimulationError
 from repro.core.bins import Bin, BinPacker
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    BandwidthResource,
-    QueueClosed,
-    Resource,
-    SerializedCell,
-    Simulator,
-    SimQueue,
-)
+from repro.sim import BandwidthResource, SerializedCell, Simulator, SimQueue
 
 
 class TestEventFailures:

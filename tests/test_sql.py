@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.apps.base import AppEnv
 from repro.cluster import small_cluster_spec
 from repro.sql import Catalog, SQLError, SQLSession, parse
-from repro.sql.ast import AggregateCall, BinOp, Column, Literal
+from repro.sql.ast import BinOp, Literal
 from repro.sql.compiler import order_and_limit
 
 MOVIES = [

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.common.errors import MemoryBudgetExceeded, StorageError
 from repro.common.partitioner import HashPartitioner
-from repro.common.units import KB, MB
 from repro.cluster import Cluster, small_cluster_spec
 from repro.storage import DFS, KVStore, LocalFS, LocationRef, SpillManager
 

@@ -18,7 +18,6 @@ from repro.core import (
     TimedBatch,
 )
 from repro.core.windows import TumblingWindows
-from repro.data.movies import movie_corpus
 
 slow_settings = settings(
     max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
