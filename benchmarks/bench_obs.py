@@ -13,10 +13,13 @@ perf-regression gate uses)::
     python benchmarks/bench_obs.py --workloads wordcount,naive_bayes
 
 Every selected Table 2 workload runs once per engine with tracing
-enabled; the artifact (schema ``repro.obs.bench/v3``) holds each row's
+enabled; the artifact (schema ``repro.obs.bench/v4``) holds each row's
 virtual seconds, blame buckets (plus their ledger total, for the
-bucket-sum invariant) and critical-path rollup, so later runs can be
-diffed with ``python -m repro.evaluation diff`` — where the task-seconds
+bucket-sum invariant), critical-path rollup, and telemetry
+traffic-matrix totals (total/remote/per-mode exchange bytes, payload and
+record counts — drift-gated, so partitioner/exchange work is judged on
+shuffle volume), so later runs can be diffed with ``python -m
+repro.evaluation diff`` — where the task-seconds (and the bytes)
 went, not just how many there were. Each entry also records
 ``wall_seconds``: real host elapsed time for the run, deliberately
 *excluded* from the drift comparison (it varies machine to machine) but
@@ -40,7 +43,7 @@ from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 from repro.obs import BUCKETS
 from repro.obs.critpath import from_tracer
 
-BENCH_SCHEMA = "repro.obs.bench/v3"
+BENCH_SCHEMA = "repro.obs.bench/v4"
 
 _rows: dict[str, dict] = {}  # accumulated across the parametrized cases
 
@@ -66,6 +69,7 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0):
     )
     blame_total = tracer.blame.job_total(jobs[0]) if jobs else 0.0
     critpath = from_tracer(tracer).rollup if tracer is not None else {}
+    traffic = tracer.traffic_totals() if tracer is not None else {}
     return {
         "virtual_seconds": round(virtual_seconds, 6),
         # wall_seconds is informational: host time, excluded from diffing
@@ -73,6 +77,11 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0):
         "blame": {bucket: round(blame[bucket], 6) for bucket in sorted(blame)},
         "blame_total": round(blame_total, 6),
         "critpath": {key: round(sec, 6) for key, sec in sorted(critpath.items())},
+        # traffic totals ARE drift-gated (schema v4): shuffle-volume
+        # regressions fail the perf gate just like makespan regressions
+        "telemetry": {
+            "traffic": {key: traffic[key] for key in sorted(traffic)}
+        },
     }
 
 
@@ -151,7 +160,7 @@ def test_write_bench_obs_json(fidelity, workloads_filter, engines_filter):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Traced Table 2 bench artifact (repro.obs.bench/v3)."
+        description="Traced Table 2 bench artifact (repro.obs.bench/v4)."
     )
     parser.add_argument(
         "--fidelity",

@@ -9,7 +9,7 @@ from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.yarn import ResourceManager
 from repro.common.partitioner import HashPartitioner, Partitioner
-from repro.obs import Tracer
+from repro.obs import Tracer, telemetry
 from repro.sim import Simulator, Trace
 
 
@@ -33,10 +33,11 @@ class Cluster:
         sim: Simulator | None = None,
         trace: bool = True,
         obs: bool = False,
+        trace_max_records: int | None = None,
     ):
         self.spec = spec
         self.sim = sim if sim is not None else Simulator()
-        self.trace = Trace(self.sim, enabled=trace)
+        self.trace = Trace(self.sim, enabled=trace, max_records=trace_max_records)
         self.obs = Tracer(self.sim, enabled=obs)
         self.nodes = [
             Node(
@@ -50,12 +51,66 @@ class Cluster:
         )
         self.resource_manager = ResourceManager(self.sim, self.nodes)
         if obs:
-            for node in self.nodes:
-                node.threads.observer = self._thread_observer(node.node_id)
+            self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        """Attach timeline observers to every node's resources.
+
+        CPU-slot occupancy, memory used/pressure and queue depth are step
+        tracks fed by occupancy hooks; disk busy-time and NIC tx/rx bytes
+        are rate tracks fed by transfer hooks. Engines additionally wire
+        inbox-depth observers when they build their flowlet inboxes.
+        """
+        timeline = self.obs.timeline
+        for node in self.nodes:
+            nid = node.node_id
+            node.threads.observer = self._thread_observer(nid)
+            timeline.set_capacity(telemetry.CPU, nid, float(node.threads.capacity))
+            for device in node.disk_devices:
+                device.observer = timeline.busy_observer(telemetry.DISK, nid)
+                timeline.add_capacity(telemetry.DISK, nid, 1.0)
+            node.nic_out.observer = timeline.bytes_observer(telemetry.NIC_TX, nid)
+            node.nic_in.observer = timeline.bytes_observer(telemetry.NIC_RX, nid)
+            node.memory.observer = self._memory_observer(node)
+            timeline.set_capacity(telemetry.MEM_USED, nid, node.memory.budget)
+            timeline.set_capacity(telemetry.MEM_PRESSURE, nid, 1.0)
+
+    def wire_task_slots(self, resource, node_id: int, capacity: float) -> None:
+        """Attach CPU telemetry to an engine-owned task-slot Resource.
+
+        The MapReduce baseline schedules on per-job slot pools rather than
+        ``node.threads``; wiring them here gives both engines the same
+        ``threads_busy`` series and CPU timeline track.
+        """
+        if not self.obs.enabled:
+            return
+        resource.observer = self._thread_observer(node_id)
+        self.obs.timeline.set_capacity(telemetry.CPU, node_id, capacity)
 
     def _thread_observer(self, node_id: int):
         series = self.obs.metrics.series("threads_busy", node=node_id)
-        return series.append
+        cpu_step = self.obs.timeline.step_observer(telemetry.CPU, node_id)
+
+        def observe(now: float, in_use: int) -> None:
+            series.append(now, in_use)
+            cpu_step(now, float(in_use))
+
+        return observe
+
+    def _memory_observer(self, node: Node):
+        nid = node.node_id
+        budget = node.memory.budget
+        timeline = self.obs.timeline
+        gauge_high = self.obs.metrics.gauge("memory.high_water", node=nid)
+        gauge_when = self.obs.metrics.gauge("memory.high_water_time", node=nid)
+
+        def observe(now: float, used: float) -> None:
+            timeline.record_step(telemetry.MEM_USED, nid, now, used)
+            timeline.record_step(telemetry.MEM_PRESSURE, nid, now, used / budget)
+            gauge_high.set(node.memory.high_water)
+            gauge_when.set(node.memory.high_water_time)
+
+        return observe
 
     @property
     def master(self) -> Node:

@@ -10,6 +10,8 @@ turns into extra disk traffic exactly as in the paper.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.common.errors import MemoryBudgetExceeded
 from repro.common.units import format_bytes
 
@@ -21,16 +23,43 @@ class MemoryAccount:
     budget; ``force_allocate`` raises instead — used where the modeled
     system would genuinely crash (e.g. Hadoop's reduce-side OOM on large
     KCliques graphs, §5.2).
+
+    With a ``clock`` (a zero-argument callable returning virtual time) the
+    account also records *when* the high-water mark was reached, and the
+    optional ``observer(now, used)`` hook fires on every usage change —
+    this is what feeds the telemetry memory tracks.
     """
 
-    def __init__(self, budget: float, name: str = "memory"):
+    def __init__(
+        self,
+        budget: float,
+        name: str = "memory",
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if budget <= 0:
             raise ValueError(f"{name}: budget must be positive")
         self.budget = float(budget)
         self.name = name
+        self.clock = clock
         self.used = 0.0
         self.high_water = 0.0
+        #: virtual time at which ``high_water`` was (first) reached;
+        #: stays 0.0 when no clock is attached
+        self.high_water_time = 0.0
         self.failed_allocations = 0
+        #: optional observability hook, called as ``observer(now, used)``
+        #: after every usage change (requires a clock)
+        self.observer: Optional[Callable[[float, float], None]] = None
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _changed(self) -> None:
+        if self.used > self.high_water:
+            self.high_water = self.used
+            self.high_water_time = self._now()
+        if self.observer is not None:
+            self.observer(self._now(), self.used)
 
     def would_fit(self, nbytes: float) -> bool:
         return self.used + nbytes <= self.budget
@@ -43,8 +72,7 @@ class MemoryAccount:
             self.failed_allocations += 1
             return False
         self.used += nbytes
-        if self.used > self.high_water:
-            self.high_water = self.used
+        self._changed()
         return True
 
     def force_allocate(self, nbytes: float) -> None:
@@ -66,6 +94,7 @@ class MemoryAccount:
                 f"{format_bytes(self.used)} allocated"
             )
         self.used = max(0.0, self.used - nbytes)
+        self._changed()
 
     @property
     def available(self) -> float:

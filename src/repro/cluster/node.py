@@ -47,7 +47,9 @@ class Node:
             obs = Tracer(sim, enabled=False)
         self.obs = obs
         self.threads = Resource(sim, spec.worker_threads, name=f"n{node_id}.threads")
-        self.memory = MemoryAccount(spec.memory, name=f"n{node_id}.memory")
+        self.memory = MemoryAccount(
+            spec.memory, name=f"n{node_id}.memory", clock=lambda: sim.now
+        )
         self.disk_devices = [
             BandwidthResource(
                 sim,

@@ -46,6 +46,7 @@ from repro.obs import (
     EDGE_STALL,
     NETWORK,
     STALL,
+    telemetry,
 )
 from repro.sim import QueueClosed, Resource, SerializedCell, SimQueue
 from repro.sim.core import SimEvent
@@ -198,9 +199,19 @@ class NodeRuntime:
         # task — the one whose completion freed inbox space.
         self.last_task_span_id = 0
         self.instances: dict[str, FlowletInstance] = {}
+        # One shared depth observer aggregates every inbox on this node
+        # into the telemetry queue-depth track (logical bytes resident).
+        inbox_depth = (
+            self.obs.timeline.depth_observer(telemetry.QUEUE, self.node.node_id)
+            if self.obs.enabled
+            else None
+        )
         for flowlet in self.graph.flowlets:
             capacity = self._inbox_capacity(flowlet)
-            self.instances[flowlet.name] = FlowletInstance(self, flowlet, capacity)
+            instance = FlowletInstance(self, flowlet, capacity)
+            self.instances[flowlet.name] = instance
+            if inbox_depth is not None:
+                instance.inbox.observer = inbox_depth
         for instance in self.instances.values():
             instance.ctx = TaskContext(
                 instance,
@@ -779,6 +790,7 @@ class NodeRuntime:
             for key, value in combined:
                 new_bin.append(key, value)
             bin_ = new_bin
+        ship_div = self._divisor(bin_.aggregated)
         targets = exchange_targets(
             edge.mode.value,
             bin_.partition,
@@ -789,9 +801,13 @@ class NodeRuntime:
                     p, edge.partitioner.num_partitions
                 )
             ),
+            traffic=obs.traffic(self.job or "") if obs.enabled else None,
+            src_node=node_id,
+            node_of=lambda w: self.engine.runtimes[w].node.node_id,
+            nbytes=self.cost.scaled_bytes(bin_.nbytes / ship_div),
+            nrecords=bin_.nrecords,
         )
         # Serialization cost once (broadcast reuses the wire image).
-        ship_div = self._divisor(bin_.aggregated)
         t0 = sim.now
         yield self.node.compute(self.cost.serde_cost(bin_.nbytes / ship_div))
         if obs.enabled:

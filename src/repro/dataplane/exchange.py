@@ -76,6 +76,11 @@ def exchange_targets(
     worker_index: int,
     num_workers: int,
     owner_of: Optional[Callable[[int], int]] = None,
+    traffic=None,
+    src_node: Optional[int] = None,
+    node_of: Optional[Callable[[int], int]] = None,
+    nbytes: float = 0.0,
+    nrecords: int = 0,
 ) -> list[int]:
     """Destination worker indices for one sealed payload.
 
@@ -83,16 +88,41 @@ def exchange_targets(
     a :data:`BROADCAST_PARTITION` partition broadcasts regardless of mode
     (control data emitted onto shuffle edges). ``owner_of`` maps a
     partition id to the worker index owning it (required for shuffles).
+
+    This is the single choke point every sealed payload passes through,
+    so it is also where the telemetry traffic matrix is charged: pass a
+    :class:`~repro.obs.telemetry.TrafficMatrix` as ``traffic`` together
+    with ``src_node``, a ``node_of`` worker-index → node-id resolver, and
+    the payload's modeled wire ``nbytes``/``nrecords``, and every resolved
+    edge is charged under its *effective* mode (broadcast-partition
+    payloads count as broadcast traffic whatever edge they rode in on).
     """
     if mode == BROADCAST or partition == BROADCAST_PARTITION:
-        return list(range(num_workers))
-    if mode == LOCAL:
-        return [worker_index]
-    if mode == SHUFFLE:
+        targets = list(range(num_workers))
+        effective_mode = BROADCAST
+    elif mode == LOCAL:
+        targets = [worker_index]
+        effective_mode = LOCAL
+    elif mode == SHUFFLE:
         if owner_of is None:
             raise ValueError("shuffle exchange requires an owner_of resolver")
-        return [owner_of(partition)]
-    raise ValueError(f"unknown exchange mode {mode!r}")
+        targets = [owner_of(partition)]
+        effective_mode = SHUFFLE
+    else:
+        raise ValueError(f"unknown exchange mode {mode!r}")
+    if traffic is not None:
+        if src_node is None or node_of is None:
+            raise ValueError("traffic charging requires src_node and node_of")
+        for target in targets:
+            traffic.charge(
+                src_node,
+                node_of(target),
+                nbytes,
+                records=nrecords,
+                mode=effective_mode,
+                partition=partition if effective_mode == SHUFFLE else None,
+            )
+    return targets
 
 
 def spill_batch(

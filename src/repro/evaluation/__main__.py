@@ -11,6 +11,9 @@ Usage::
     python -m repro.evaluation bench NAME [--fidelity small]   # one Table 2 row
     python -m repro.evaluation report [--workload wordcount] [--engine both]
                                       [--json out.json] [--chrome trace.json]
+    python -m repro.evaluation timeline [--workload wordcount|all] [--engine both]
+                                      [--bins 60] [--json out.json]
+                                      [--chrome trace.json]
     python -m repro.evaluation diff A.json B.json [--tolerance 0.01]
                                       [--fail-on-drift] [--json delta.json]
 """
@@ -36,7 +39,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         choices=[
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
-            "report", "diff",
+            "report", "timeline", "diff",
         ],
     )
     parser.add_argument(
@@ -55,14 +58,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workload",
         default="wordcount",
-        choices=TABLE2_ORDER,
-        help="workload for `report`",
+        choices=list(TABLE2_ORDER) + ["all"],
+        help="workload for `report`/`timeline` (`all` = every Table 2 workload)",
     )
     parser.add_argument(
         "--engine",
         default="both",
         choices=["both", "hamr", "hadoop"],
-        help="engine(s) to trace for `report`",
+        help="engine(s) to trace for `report`/`timeline`",
+    )
+    parser.add_argument(
+        "--bins",
+        type=int,
+        default=60,
+        help="time bins per telemetry heatmap row for `timeline` (default 60)",
     )
     parser.add_argument("--json", metavar="PATH", help="write the report/diff as JSON")
     parser.add_argument(
@@ -82,7 +91,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.artifact == "report":
+        if args.workload == "all":
+            parser.error("report supports a single --workload (not `all`)")
         return _report(args)
+    if args.artifact == "timeline":
+        return _timeline(args)
     if args.artifact == "diff":
         if not args.name or not args.name2:
             parser.error("diff requires two artifact paths: A.json B.json")
@@ -148,6 +161,61 @@ def _diff(args) -> int:
         print(f"wrote {args.json}", file=sys.stderr)
     if args.fail_on_drift and not result.ok:
         return 1
+    return 0
+
+
+def _timeline(args) -> int:
+    """Run traced workload(s) and print/export the telemetry report."""
+    from repro.evaluation.telemetryreport import (
+        TIMELINE_SCHEMA,
+        render_telemetry,
+        telemetry_dict,
+    )
+
+    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    exported: dict[str, dict] = {}
+    chrome_pick = None
+    for name in workloads:
+        if len(workloads) > 1:
+            print(f"  running {name} ...", file=sys.stderr, flush=True)
+        row = run_workload(
+            workload_by_name(name, args.fidelity), engines=args.engine, obs=True
+        )
+        traced = [
+            (engine, tracer)
+            for engine, tracer in (("hamr", row.hamr_obs), ("hadoop", row.hadoop_obs))
+            if tracer is not None
+        ]
+        for engine, tracer in traced:
+            makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
+            print(
+                render_telemetry(
+                    tracer,
+                    title=f"== {row.label} ({row.data_size}) on {engine} — "
+                    f"makespan {makespan:.3f}s ==",
+                    bins=args.bins,
+                )
+            )
+            print()
+            exported.setdefault(name, {})[engine] = telemetry_dict(
+                tracer, name, engine, bins=args.bins
+            )
+        if chrome_pick is None and traced:
+            chrome_pick = (workloads[0], *traced[0])
+    if args.json:
+        payload = {
+            "schema": TIMELINE_SCHEMA,
+            "fidelity": args.fidelity,
+            "workloads": exported,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.chrome and chrome_pick is not None:
+        workload, engine, tracer = chrome_pick
+        with open(args.chrome, "w") as fh:
+            json.dump(tracer.to_chrome_trace(), fh, sort_keys=True)
+        print(f"wrote {args.chrome} ({workload} on {engine})", file=sys.stderr)
     return 0
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from repro.common.units import format_bytes
 from repro.evaluation.report import render_table
 from repro.obs import BUCKETS, Span, Tracer, assign_lanes
 from repro.obs.critpath import from_tracer, render_critpath
@@ -111,7 +112,8 @@ def render_blame(tracer: Tracer) -> str:
 
 
 def render_utilization(tracer: Tracer) -> str:
-    """Per-node worker-thread utilization from the ``threads_busy`` series."""
+    """Per-node worker-thread utilization from the ``threads_busy`` series,
+    plus each node's memory high-water mark and when it was reached."""
     series_by_node = {
         dict(key).get("node"): ts
         for key, ts in tracer.metrics._series.get("threads_busy", {}).items()
@@ -119,6 +121,14 @@ def render_utilization(tracer: Tracer) -> str:
     nodes = sorted(n for n in series_by_node if n is not None)
     if not nodes:
         return "(no thread-utilization series recorded)"
+    high_water = {
+        dict(key).get("node"): gauge.value
+        for key, gauge in tracer.metrics._gauges.get("memory.high_water", {}).items()
+    }
+    high_water_time = {
+        dict(key).get("node"): gauge.value
+        for key, gauge in tracer.metrics._gauges.get("memory.high_water_time", {}).items()
+    }
     end = tracer.sim.now
     rows = []
     for node in nodes:
@@ -132,9 +142,20 @@ def render_utilization(tracer: Tracer) -> str:
             peak = max(peak, v)
         busy_integral += prev_v * (end - prev_t)
         mean = busy_integral / end if end > 0 else 0.0
-        rows.append([f"n{node}", mean, int(peak)])
+        hw = high_water.get(node)
+        rows.append(
+            [
+                f"n{node}",
+                mean,
+                int(peak),
+                format_bytes(hw) if hw is not None else "-",
+                f"{high_water_time.get(node, 0.0):.3f}s" if hw is not None else "-",
+            ]
+        )
     return render_table(
-        ["node", "mean busy threads", "peak"], rows, title="Thread utilization"
+        ["node", "mean busy threads", "peak", "mem high-water", "at t"],
+        rows,
+        title="Thread utilization",
     )
 
 

@@ -1,0 +1,74 @@
+"""Telemetry reports: resource-timeline heatmaps, traffic matrix, skew.
+
+Renders one traced engine run's :class:`~repro.obs.Tracer` telemetry —
+the per-node counter tracks, the N×N exchange traffic matrix and the
+imbalance statistics — as the ``python -m repro.evaluation timeline``
+artifact. The JSON export (schema ``repro.obs.timeline/v1``) is
+byte-deterministic: two identical runs serialize identically, which is
+what the telemetry determinism tests and the CI smoke step assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs import Tracer, build_skew_report
+from repro.obs.telemetry import (
+    DEFAULT_BINS,
+    TELEMETRY_SCHEMA,
+    render_skew,
+    render_timeline_heatmap,
+    render_traffic_matrix,
+)
+
+#: envelope schema of the ``timeline --json`` export (per-engine entries
+#: inside it carry :data:`~repro.obs.telemetry.TELEMETRY_SCHEMA`)
+TIMELINE_SCHEMA = "repro.obs.timeline/v1"
+
+
+def telemetry_dict(
+    tracer: Tracer,
+    workload: str,
+    engine: str,
+    bins: int = DEFAULT_BINS,
+) -> dict:
+    """Deterministic JSON-serializable telemetry for one traced run."""
+    matrices = tracer.traffic_matrices()
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "workload": workload,
+        "engine": engine,
+        "virtual_end": tracer.sim.now,
+        "timeline": tracer.timeline.to_dict(bins=bins),
+        "traffic": {matrix.job: matrix.to_dict() for matrix in matrices},
+        "traffic_totals": tracer.traffic_totals(),
+        "skew": build_skew_report(tracer.timeline, matrices).to_dict(),
+    }
+
+
+def telemetry_json(
+    tracer: Tracer,
+    workload: str,
+    engine: str,
+    bins: int = DEFAULT_BINS,
+    indent: Optional[int] = None,
+) -> str:
+    return json.dumps(
+        telemetry_dict(tracer, workload, engine, bins=bins),
+        sort_keys=True,
+        indent=indent,
+    )
+
+
+def render_telemetry(tracer: Tracer, title: str = "", bins: int = DEFAULT_BINS) -> str:
+    """The full ASCII telemetry report for one traced run."""
+    parts = [title] if title else []
+    parts.append(render_timeline_heatmap(tracer.timeline, bins=bins))
+    matrices = tracer.traffic_matrices()
+    for matrix in matrices:
+        parts.append(render_traffic_matrix(matrix))
+    if not matrices:
+        parts.append("(no exchange traffic recorded)")
+    parts.append(render_skew(build_skew_report(tracer.timeline, matrices)))
+    return "\n\n".join(parts)

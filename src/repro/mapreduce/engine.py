@@ -167,6 +167,10 @@ class HadoopEngine:
             Resource(sim, cost.hadoop_slots_per_node, name=f"n{w.node_id}.slots")
             for w in self.cluster.workers
         ]
+        for worker, slot in zip(self.cluster.workers, slots):
+            self.cluster.wire_task_slots(
+                slot, worker.node_id, float(cost.hadoop_slots_per_node)
+            )
         state["metrics"]["map_tasks"] = len(splits)
         state["metrics"]["reduce_tasks"] = num_reducers if job.reducer else 0
 
@@ -446,7 +450,9 @@ class HadoopEngine:
                 # ~1 GB JVM, not the whole node) — overflowing it spills to
                 # local disk and pays a read-back at merge time.
                 heap = MemoryAccount(
-                    cost.hadoop_reduce_memory, name=f"{job.name}.r{r}.heap"
+                    cost.hadoop_reduce_memory,
+                    name=f"{job.name}.r{r}.heap",
+                    clock=lambda: sim.now,
                 )
                 spill = spill_pool.for_node(node)
                 segments: list[RecordBatch] = []
@@ -472,6 +478,17 @@ class HadoopEngine:
                         if obs.enabled:
                             obs.charge(job.name, DISK, t1 - t0, node=node.node_id, span=fspan)
                             obs.charge(job.name, NETWORK, sim.now - t1, node=node.node_id, span=fspan)
+                            # The pull-based fetch is Hadoop's exchange
+                            # site — charge the traffic matrix here, in
+                            # the same modeled wire bytes as HAMR's ship.
+                            obs.traffic(job.name).charge(
+                                out.node.node_id,
+                                node.node_id,
+                                cost.scaled_bytes(nbytes),
+                                records=segment.nrecords,
+                                mode="shuffle",
+                                partition=r,
+                            )
                     # The reduce barrier waits on every fetch.
                     obs.edge(fspan, rspan, EDGE_BARRIER)
                     shuffled_bytes += nbytes

@@ -36,6 +36,18 @@ from repro.obs.spans import (
     Tracer,
     assign_lanes,
 )
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    SkewReport,
+    TimelineSampler,
+    TrafficMatrix,
+    build_skew_report,
+    merge_traffic_totals,
+    render_skew,
+    render_timeline_heatmap,
+    render_traffic_matrix,
+    skew_stats,
+)
 
 __all__ = [
     "Tracer",
@@ -62,4 +74,14 @@ __all__ = [
     "STALL",
     "ATOMIC",
     "STARTUP",
+    "TELEMETRY_SCHEMA",
+    "TimelineSampler",
+    "TrafficMatrix",
+    "SkewReport",
+    "build_skew_report",
+    "merge_traffic_totals",
+    "skew_stats",
+    "render_timeline_heatmap",
+    "render_traffic_matrix",
+    "render_skew",
 ]

@@ -2,10 +2,11 @@
 
 Credible Hadoop-class evaluation needs run-over-run comparison with
 explicit variance/regression criteria, not one-shot numbers. This module
-diffs two artifacts — bench baselines (``repro.obs.bench/v1|v2``, e.g.
+diffs two artifacts — bench baselines (``repro.obs.bench/*``, e.g.
 the committed ``BENCH_obs.json``) or report exports
-(``repro.obs.report/v1|v2``) — per workload × engine: virtual seconds,
-blame-bucket deltas, and critical-path composition. The result renders as
+(``repro.obs.report/*``) — per workload × engine: virtual seconds,
+blame-bucket deltas, critical-path composition, and (bench v4+)
+telemetry traffic-matrix totals. The result renders as
 a deterministic ASCII table plus a JSON delta report, and carries a drift
 verdict against a configurable relative tolerance — the CI perf-regression
 gate is exactly this diff with ``--fail-on-drift``.
@@ -37,6 +38,7 @@ class EngineRecord:
     virtual_seconds: float
     blame: dict[str, float] = field(default_factory=dict)
     critpath: Optional[dict[str, float]] = None  # rollup key -> path seconds
+    traffic: Optional[dict[str, float]] = None  # telemetry traffic totals (v4+)
 
 
 def _blame_from_report(engine_report: dict) -> dict[str, float]:
@@ -59,12 +61,14 @@ def normalize(artifact: dict, source: str = "<artifact>") -> dict:
                 entry = row.get(engine)
                 if entry is None:
                     continue
+                traffic = entry.get("telemetry", {}).get("traffic")
                 engines[engine] = EngineRecord(
                     virtual_seconds=entry["virtual_seconds"],
                     blame=dict(entry.get("blame", {})),
                     critpath=dict(entry["critpath"])
                     if entry.get("critpath") is not None
                     else None,
+                    traffic=dict(traffic) if traffic is not None else None,
                 )
             rows[workload] = engines
     elif schema.startswith(_REPORT_PREFIX):
@@ -139,9 +143,12 @@ def diff_artifacts(a: dict, b: dict, tolerance: float = 0.01) -> DiffResult:
     """Compare two normalized artifacts (see :func:`normalize`).
 
     A workload × engine drifts when its virtual seconds moved by more than
-    ``tolerance`` (relative) between A and B. Blame buckets and
-    critical-path composition are reported per row for explanation, but
-    only the virtual-seconds criterion gates.
+    ``tolerance`` (relative) between A and B — or, when both sides carry
+    telemetry traffic totals (bench schema v4+), when any traffic-matrix
+    total (total/remote/per-mode bytes, payloads, records) drifts beyond
+    the same tolerance. Shuffle-volume regressions therefore gate exactly
+    like makespan regressions. Blame buckets and critical-path composition
+    are reported per row for explanation only.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative: {tolerance}")
@@ -175,6 +182,21 @@ def diff_artifacts(a: dict, b: dict, tolerance: float = 0.01) -> DiffResult:
                     key: rec_b.critpath.get(key, 0.0) - rec_a.critpath.get(key, 0.0)
                     for key in sorted(set(rec_a.critpath) | set(rec_b.critpath))
                 }
+            if rec_a.traffic is not None and rec_b.traffic is not None:
+                traffic_delta = {}
+                traffic_drift = []
+                for key in sorted(set(rec_a.traffic) | set(rec_b.traffic)):
+                    t_rel = _rel_delta(
+                        rec_a.traffic.get(key, 0.0), rec_b.traffic.get(key, 0.0)
+                    )
+                    traffic_delta[key] = t_rel
+                    if abs(t_rel) > tolerance:
+                        traffic_drift.append(key)
+                comparison["traffic_delta"] = traffic_delta
+                comparison["traffic_drift"] = traffic_drift
+                if traffic_drift:
+                    drifted = True
+                    comparison["drift"] = True
             row[engine] = comparison
             if drifted:
                 result.drift.append(f"{workload}/{engine}")
@@ -232,6 +254,36 @@ def render_diff(result: DiffResult, label_a: str = "A", label_b: str = "B") -> s
                 ["workload", "engine", "critical-path composition shift"],
                 crit_rows,
                 title="Critical-path deltas",
+            )
+        )
+    traffic_rows = []
+    for workload in sorted(result.rows):
+        for engine in sorted(result.rows[workload]):
+            c = result.rows[workload][engine]
+            delta = c.get("traffic_delta")
+            if delta is None:
+                continue
+            moved = [
+                f"{key} {'inf' if rel == float('inf') else f'{100.0 * rel:+.3f}%'}"
+                for key, rel in sorted(
+                    delta.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+                )
+                if abs(rel) > 1e-12
+            ][:3]
+            traffic_rows.append(
+                [
+                    workload,
+                    engine,
+                    "DRIFT" if c.get("traffic_drift") else "ok",
+                    ", ".join(moved) or "(unchanged)",
+                ]
+            )
+    if traffic_rows:
+        lines.append(
+            render_table(
+                ["workload", "engine", "verdict", "traffic-matrix total shift"],
+                traffic_rows,
+                title="Traffic deltas",
             )
         )
     for label, missing in (("only in A", result.only_a), ("only in B", result.only_b)):

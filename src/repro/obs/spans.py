@@ -21,6 +21,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from repro.obs.blame import BlameLedger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TimelineSampler, TrafficMatrix, merge_traffic_totals
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -196,6 +197,10 @@ class Tracer:
         self.edges: list[SpanEdge] = []
         self.metrics = MetricsRegistry()
         self.blame = BlameLedger()
+        #: per-node resource timelines (counter tracks over virtual time)
+        self.timeline = TimelineSampler(sim, enabled)
+        #: per-job N×N exchange traffic matrices
+        self._traffic: dict[str, TrafficMatrix] = {}
         self._next_id = 0
 
     # -- spans -----------------------------------------------------------------
@@ -279,6 +284,23 @@ class Tracer:
         self.blame.charge(job, bucket, seconds, node=node)
         if isinstance(span, Span) and seconds > 0.0:
             span.charges[bucket] = span.charges.get(bucket, 0.0) + seconds
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def traffic(self, job: str) -> TrafficMatrix:
+        """The (get-or-create) exchange traffic matrix for one job."""
+        matrix = self._traffic.get(job)
+        if matrix is None:
+            matrix = self._traffic[job] = TrafficMatrix(job)
+        return matrix
+
+    def traffic_matrices(self) -> list[TrafficMatrix]:
+        """All per-job matrices, in deterministic job-name order."""
+        return [self._traffic[job] for job in sorted(self._traffic)]
+
+    def traffic_totals(self) -> dict[str, float]:
+        """Drift-gated traffic summary merged over every traced job."""
+        return merge_traffic_totals(self.traffic_matrices())
 
     # -- metrics convenience (no-ops when disabled) ------------------------------
 
@@ -387,10 +409,43 @@ class Tracer:
                     "tid": lanes[dst.span_id],
                 }
             )
+        # Counter tracks ("C" events): per-node resource timelines render as
+        # Perfetto counter lanes alongside the span rows. Step tracks emit
+        # one sample per recorded level change; rate tracks emit the running
+        # cumulative weight at each transfer's finish time.
+        for (track, node), samples in sorted(self.timeline._steps.items()):
+            for t, value in samples:
+                events.append(
+                    {
+                        "name": f"telemetry.{track}",
+                        "ph": "C",
+                        "ts": round(t * time_unit),
+                        "pid": node,
+                        "tid": 0,
+                        "args": {track: round(value, 6)},
+                    }
+                )
+        for (track, node), intervals in sorted(self.timeline._intervals.items()):
+            cumulative = 0.0
+            for _start, finish, weight in sorted(intervals):
+                cumulative += weight
+                events.append(
+                    {
+                        "name": f"telemetry.{track}",
+                        "ph": "C",
+                        "ts": round(finish * time_unit),
+                        "pid": node,
+                        "tid": 0,
+                        "args": {track: round(cumulative, 6)},
+                    }
+                )
         # Global ts order (required by the format); stable tiebreak keeps the
         # output byte-identical across runs.
         events.sort(
-            key=lambda e: (e["ts"], e["ph"] != "X", e.get("id", 0), e["pid"], e["tid"])
+            key=lambda e: (
+                e["ts"], e["ph"] != "X", e.get("id", 0), e["pid"], e["tid"],
+                e["name"],
+            )
         )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 

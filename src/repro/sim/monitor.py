@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 from repro.sim.core import Simulator
 
@@ -22,16 +24,35 @@ class Trace:
 
     Engines record scheduling decisions, spills, flow-control stalls, etc.;
     tests assert on the recorded behaviour and reports summarize it.
+
+    With ``max_records`` set the trace becomes a ring buffer keeping only
+    the newest entries; ``dropped`` counts evictions. Default behaviour
+    (unbounded list) is unchanged.
     """
 
-    def __init__(self, sim: Simulator, enabled: bool = True):
+    def __init__(
+        self,
+        sim: Simulator,
+        enabled: bool = True,
+        max_records: Optional[int] = None,
+    ):
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records}")
         self.sim = sim
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+        if max_records is None:
+            self.records: list[TraceRecord] = []
+        else:
+            self.records = deque(maxlen=max_records)  # type: ignore[assignment]
 
     def record(self, category: str, **payload: Any) -> None:
-        if self.enabled:
-            self.records.append(TraceRecord(self.sim.now, category, payload))
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+        self.records.append(TraceRecord(self.sim.now, category, payload))
 
     def filter(self, category: str) -> list[TraceRecord]:
         return [r for r in self.records if r.category == category]
@@ -68,6 +89,10 @@ class UtilizationMeter:
         self._busy = 0
         self._integral = 0.0
         self._last = 0.0
+        #: checkpoints of (integral, busy) at each state-change time, so
+        #: ``utilization(since=t)`` can integrate only past ``t``
+        self._checkpoint_times: list[float] = [0.0]
+        self._checkpoints: list[tuple[float, int]] = [(0.0, 0)]
         #: optional (time, busy) time series for observability reports
         self.record_series = record_series
         self.series: list[tuple[float, int]] = []
@@ -75,6 +100,7 @@ class UtilizationMeter:
     def enter(self, n: int = 1) -> None:
         self._advance()
         self._busy += n
+        self._checkpoint()
         self._sample()
 
     def leave(self, n: int = 1) -> None:
@@ -82,7 +108,16 @@ class UtilizationMeter:
         if n > self._busy:
             raise ValueError(f"{self.name}: leave({n}) with busy={self._busy}")
         self._busy -= n
+        self._checkpoint()
         self._sample()
+
+    def _checkpoint(self) -> None:
+        now = self.sim.now
+        if self._checkpoint_times[-1] == now:
+            self._checkpoints[-1] = (self._integral, self._busy)
+        else:
+            self._checkpoint_times.append(now)
+            self._checkpoints.append((self._integral, self._busy))
 
     def _sample(self) -> None:
         if not self.record_series:
@@ -101,9 +136,18 @@ class UtilizationMeter:
     def busy(self) -> int:
         return self._busy
 
+    def _integral_at(self, t: float) -> float:
+        """Busy-slot time-integral accumulated up to virtual time ``t``."""
+        if t <= 0.0:
+            return 0.0
+        idx = bisect_right(self._checkpoint_times, t) - 1
+        integral, busy = self._checkpoints[idx]
+        return integral + busy * (t - self._checkpoint_times[idx])
+
     def utilization(self, since: float = 0.0) -> float:
         self._advance()
         elapsed = self.sim.now - since
         if elapsed <= 0:
             return 0.0
-        return self._integral / (self.capacity * elapsed)
+        window = self._integral - self._integral_at(since)
+        return window / (self.capacity * elapsed)

@@ -57,6 +57,10 @@ class SimQueue:
         self.total_got = 0
         self.put_blocked = 0
         self.max_weight = 0.0
+        #: optional observability hook, called as ``observer(now, delta)``
+        #: when queued weight actually changes — items handed straight to a
+        #: waiting getter never reside in the queue and are not reported
+        self.observer = None
 
     # -- producer side -------------------------------------------------------
 
@@ -172,6 +176,8 @@ class SimQueue:
         self._weight += weight
         if self._weight > self.max_weight:
             self.max_weight = self._weight
+        if self.observer is not None:
+            self.observer(self.sim.now, weight)
 
     def _pop_item(self) -> Any:
         item, weight = self._items.popleft()
@@ -179,6 +185,8 @@ class SimQueue:
         self.total_got += 1
         if not self._items:
             self._weight = 0.0  # guard against float drift
+        if self.observer is not None:
+            self.observer(self.sim.now, -weight)
         return item
 
     def _admit_blocked_putters(self) -> None:

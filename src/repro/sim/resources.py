@@ -130,6 +130,10 @@ class BandwidthResource:
         self.total_bytes = 0
         self.total_ops = 0
         self.busy_time = 0.0
+        #: optional observability hook, called as
+        #: ``observer(start, finish, nbytes)`` when a transfer is scheduled
+        #: (None keeps the fast path free)
+        self.observer = None
 
     def transfer(self, nbytes: float) -> SimEvent:
         """Schedule a transfer; the event fires at its completion time."""
@@ -142,6 +146,8 @@ class BandwidthResource:
         self.total_bytes += int(nbytes)
         self.total_ops += 1
         self.busy_time += self.latency + occupancy
+        if self.observer is not None:
+            self.observer(start, finish, nbytes)
         event = SimEvent(self.sim, name=f"{self.name}.transfer({int(nbytes)})")
         return event.trigger(value=int(nbytes), delay=finish - self.sim.now)
 

@@ -41,6 +41,25 @@ def _bench_artifact(wordcount_hamr=45.017, extra_workload=None):
     return {"schema": "repro.obs.bench/v2", "fidelity": "tiny", "rows": rows}
 
 
+def _bench_artifact_v4(shuffle_bytes=1000.0, total_bytes=1500.0):
+    """A schema-v4 artifact carrying telemetry traffic totals."""
+    doc = _bench_artifact()
+    doc["schema"] = "repro.obs.bench/v4"
+    for engine in ("hamr", "hadoop"):
+        doc["rows"]["wordcount"][engine]["telemetry"] = {
+            "traffic": {
+                "total_bytes": total_bytes,
+                "remote_bytes": total_bytes * 0.6,
+                "shuffle_bytes": shuffle_bytes,
+                "local_bytes": total_bytes - shuffle_bytes,
+                "broadcast_bytes": 0.0,
+                "payloads": 40.0,
+                "records": 900.0,
+            }
+        }
+    return doc
+
+
 class TestNormalize:
     def test_bench_schema(self):
         norm = normalize(_bench_artifact())
@@ -132,6 +151,69 @@ class TestDiff:
         assert "verdict: DRIFT in wordcount/hamr" in text
         ok_text = render_diff(diff_artifacts(a, normalize(_bench_artifact())))
         assert "verdict: OK — within tolerance" in ok_text
+
+
+class TestTrafficGating:
+    def test_v4_traffic_parsed_into_record(self):
+        rec = normalize(_bench_artifact_v4())["wordcount"]["hamr"]
+        assert rec.traffic is not None
+        assert rec.traffic["shuffle_bytes"] == 1000.0
+
+    def test_v2_artifact_has_no_traffic_and_diffs_fine(self):
+        rec = normalize(_bench_artifact())["wordcount"]["hamr"]
+        assert rec.traffic is None
+        result = diff_artifacts(
+            normalize(_bench_artifact()), normalize(_bench_artifact())
+        )
+        assert result.ok
+        assert "traffic_delta" not in result.rows["wordcount"]["hamr"]
+
+    def test_identical_traffic_is_ok(self):
+        a = normalize(_bench_artifact_v4())
+        result = diff_artifacts(a, normalize(_bench_artifact_v4()))
+        assert result.ok
+        row = result.rows["wordcount"]["hamr"]
+        assert row["traffic_drift"] == []
+        assert all(rel == 0.0 for rel in row["traffic_delta"].values())
+
+    def test_traffic_drift_gates_even_with_stable_makespan(self):
+        a = normalize(_bench_artifact_v4(shuffle_bytes=1000.0))
+        b = normalize(_bench_artifact_v4(shuffle_bytes=1200.0))
+        result = diff_artifacts(a, b, tolerance=0.05)
+        assert not result.ok
+        assert "wordcount/hamr" in result.drift
+        row = result.rows["wordcount"]["hamr"]
+        # makespan itself did not move — traffic alone trips the gate
+        assert row["rel_delta"] == 0.0
+        assert row["drift"] is True
+        assert "shuffle_bytes" in row["traffic_drift"]
+        assert "local_bytes" in row["traffic_drift"]
+        assert row["traffic_delta"]["shuffle_bytes"] == pytest.approx(0.2)
+
+    def test_traffic_within_tolerance_is_ok(self):
+        a = normalize(_bench_artifact_v4(shuffle_bytes=1000.0))
+        b = normalize(_bench_artifact_v4(shuffle_bytes=1004.0, total_bytes=1504.0))
+        assert diff_artifacts(a, b, tolerance=0.01).ok
+
+    def test_traffic_from_zero_reports_inf(self):
+        a = normalize(_bench_artifact_v4(shuffle_bytes=0.0))
+        b = normalize(_bench_artifact_v4(shuffle_bytes=50.0))
+        result = diff_artifacts(a, b, tolerance=0.05)
+        row = result.rows["wordcount"]["hamr"]
+        assert row["traffic_delta"]["shuffle_bytes"] == float("inf")
+        assert not result.ok
+
+    def test_render_includes_traffic_table(self):
+        a = normalize(_bench_artifact_v4(shuffle_bytes=1000.0))
+        b = normalize(_bench_artifact_v4(shuffle_bytes=1300.0))
+        text = render_diff(diff_artifacts(a, b, tolerance=0.05))
+        assert "Traffic deltas" in text
+        assert "shuffle_bytes" in text
+        ok_text = render_diff(
+            diff_artifacts(a, normalize(_bench_artifact_v4(shuffle_bytes=1000.0)))
+        )
+        assert "Traffic deltas" in ok_text
+        assert "(unchanged)" in ok_text
 
 
 class TestCli:

@@ -251,11 +251,21 @@ class TestTracedRun:
         trace = env.obs.to_chrome_trace()
         events = trace["traceEvents"]
         assert events
-        assert all(e["ph"] in ("X", "s", "f") for e in events)
+        assert all(e["ph"] in ("X", "s", "f", "C") for e in events)
         ts = [e["ts"] for e in events]
         assert ts == sorted(ts)
         assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
         json.dumps(trace)
+
+    def test_chrome_counter_tracks_present(self, traced):
+        env, _result = traced
+        events = env.obs.to_chrome_trace()["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters  # telemetry renders as Perfetto counter tracks
+        names = {e["name"] for e in counters}
+        assert "telemetry.cpu" in names
+        assert all(e["name"].startswith("telemetry.") for e in counters)
+        assert all(e["tid"] == 0 and len(e["args"]) == 1 for e in counters)
 
     def test_chrome_flow_events_pair_up(self, traced):
         env, _result = traced
