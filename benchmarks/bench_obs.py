@@ -13,21 +13,28 @@ perf-regression gate uses)::
     python benchmarks/bench_obs.py --workloads wordcount,naive_bayes
 
 Every selected Table 2 workload runs once per engine with tracing
-enabled; the artifact (schema ``repro.obs.bench/v4``) holds each row's
+enabled; the artifact (schema ``repro.obs.bench/v5``) holds each row's
 virtual seconds, blame buckets (plus their ledger total, for the
-bucket-sum invariant), critical-path rollup, and telemetry
+bucket-sum invariant), critical-path rollup, telemetry
 traffic-matrix totals (total/remote/per-mode exchange bytes, payload and
 record counts — drift-gated, so partitioner/exchange work is judged on
-shuffle volume), so later runs can be diffed with ``python -m
-repro.evaluation diff`` — where the task-seconds (and the bytes)
-went, not just how many there were. Each entry also records
-``wall_seconds``: real host elapsed time for the run, deliberately
-*excluded* from the drift comparison (it varies machine to machine) but
-kept in the artifact so data-plane speedups are measurable before/after.
+shuffle volume), and a ``hostprof`` section (total host ns plus
+per-bucket shares from the dual-clock profiler), so later runs can be
+diffed with ``python -m repro.evaluation diff`` — where the
+task-seconds (and the bytes) went, not just how many there were. Each
+entry also records ``wall_seconds``: real host elapsed time for the run,
+deliberately *excluded* from the drift comparison (it varies machine to
+machine) but kept in the artifact so data-plane speedups are measurable
+before/after. Hostprof ``total_ns`` is likewise informational; only the
+bucket *shares* gate, under the diff's absolute ``--host-tolerance``
+band.
 
 ``REPRO_OBS_SLOWDOWN=workload=factor`` scales one workload's recorded
 virtual seconds — a seeded synthetic regression for validating that the
-CI gate actually fails on drift.
+CI gate actually fails on drift. ``REPRO_OBS_HOST_SLOWDOWN=bucket=factor``
+does the same on the host clock: it multiplies one hostprof bucket's
+nanoseconds before shares are computed, shifting the recorded composition
+so the gate's host-share band can be self-tested.
 """
 
 import argparse
@@ -43,9 +50,10 @@ from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 from repro.obs import BUCKETS
 from repro.obs.critpath import from_tracer
 
-BENCH_SCHEMA = "repro.obs.bench/v4"
+BENCH_SCHEMA = "repro.obs.bench/v5"
 
 _rows: dict[str, dict] = {}  # accumulated across the parametrized cases
+_snapshots: dict[str, dict] = {}  # workload -> engine -> full hostprof snapshot
 
 
 def _synthetic_slowdown() -> tuple[str, float]:
@@ -62,7 +70,45 @@ def _synthetic_slowdown() -> tuple[str, float]:
         ) from None
 
 
-def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0):
+def _host_slowdown() -> tuple[str, float]:
+    """Parse ``REPRO_OBS_HOST_SLOWDOWN=bucket=factor`` (host-gate validation)."""
+    raw = os.environ.get("REPRO_OBS_HOST_SLOWDOWN", "")
+    if not raw:
+        return "", 1.0
+    bucket, _, factor = raw.partition("=")
+    try:
+        return bucket, float(factor)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_OBS_HOST_SLOWDOWN must be 'bucket=factor', got {raw!r}"
+        ) from None
+
+
+def _hostprof_entry(snapshot) -> dict:
+    """Bench-artifact ``hostprof`` section: total ns + per-bucket shares.
+
+    The synthetic host slowdown (if any) is applied to the chosen
+    bucket's ns *before* shares are computed — exactly the composition
+    shift a real host-side regression in that subsystem would record.
+    """
+    if snapshot is None:
+        return {"total_ns": 0, "shares": {}}
+    slow_bucket, slow_factor = _host_slowdown()
+    buckets = dict(snapshot["buckets"])
+    if slow_bucket in buckets:
+        buckets[slow_bucket] = int(buckets[slow_bucket] * slow_factor)
+    total = sum(buckets.values())
+    return {
+        # total_ns is informational (machine noise) — only shares gate
+        "total_ns": total,
+        "shares": {
+            bucket: round(ns / total, 6) if total else 0.0
+            for bucket, ns in sorted(buckets.items())
+        },
+    }
+
+
+def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0, hostprof=None):
     jobs = tracer.blame.jobs() if tracer is not None else []
     blame = (
         tracer.blame.job_summary(jobs[0]) if jobs else {b: 0.0 for b in BUCKETS}
@@ -82,13 +128,16 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0):
         "telemetry": {
             "traffic": {key: traffic[key] for key in sorted(traffic)}
         },
+        # schema v5: host-clock composition; shares gate under the diff's
+        # --host-tolerance absolute band, total_ns never does
+        "hostprof": _hostprof_entry(hostprof),
     }
 
 
 def run_row(name: str, fidelity: str, engines: str = "both") -> dict:
-    """Run one traced workload row and build its artifact entry."""
+    """Run one traced+profiled workload row and build its artifact entry."""
     workload = workload_by_name(name, fidelity)
-    row = run_workload(workload, engines=engines, obs=True)
+    row = run_workload(workload, engines=engines, obs=True, profile=True)
     slow_name, slow_factor = _synthetic_slowdown()
     factor = slow_factor if name == slow_name else 1.0
     entry = {
@@ -97,12 +146,20 @@ def run_row(name: str, fidelity: str, engines: str = "both") -> dict:
     }
     if engines in ("both", "hamr"):
         entry["hamr"] = _engine_entry(
-            row.hamr_obs, row.hamr_seconds * factor, row.hamr_wall_seconds
+            row.hamr_obs, row.hamr_seconds * factor, row.hamr_wall_seconds,
+            row.hamr_hostprof,
         )
     if engines in ("both", "hadoop"):
         entry["hadoop"] = _engine_entry(
-            row.hadoop_obs, row.idh_seconds * factor, row.hadoop_wall_seconds
+            row.hadoop_obs, row.idh_seconds * factor, row.hadoop_wall_seconds,
+            row.hadoop_hostprof,
         )
+    snaps = {}
+    if row.hamr_hostprof is not None:
+        snaps["hamr"] = {"hostprof": row.hamr_hostprof}
+    if row.hadoop_hostprof is not None:
+        snaps["hadoop"] = {"hostprof": row.hadoop_hostprof}
+    _snapshots[name] = snaps
     return entry
 
 
@@ -128,13 +185,18 @@ def write_payload(payload: dict, path: pathlib.Path) -> None:
 
 
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_traced_row(benchmark, fidelity, workloads_filter, engines_filter, name):
+def test_traced_row(
+    benchmark, fidelity, workloads_filter, engines_filter, name,
+    profile_enabled, hostprof_sink,
+):
     if workloads_filter and name not in workloads_filter:
         pytest.skip(f"{name} not in --workloads filter")
     from conftest import run_once
 
     engines = engines_filter or "both"
     entry = run_once(benchmark, lambda: run_row(name, fidelity, engines))
+    if profile_enabled:
+        hostprof_sink[name] = _snapshots.get(name, {})
 
     _rows[name] = entry
     extra = {}
@@ -160,7 +222,7 @@ def test_write_bench_obs_json(fidelity, workloads_filter, engines_filter):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Traced Table 2 bench artifact (repro.obs.bench/v4)."
+        description="Traced Table 2 bench artifact (repro.obs.bench/v5)."
     )
     parser.add_argument(
         "--fidelity",
@@ -178,6 +240,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=str(_default_path()), help="artifact output path"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also write the full hostprof snapshots (flat/tree/clock) "
+        "to <out-stem>.hostprof.json",
+    )
     args = parser.parse_args(argv)
 
     selected = [w for w in args.workloads.split(",") if w] or list(TABLE2_ORDER)
@@ -192,6 +260,21 @@ def main(argv=None) -> int:
     path = pathlib.Path(args.out)
     write_payload(build_payload(rows, args.fidelity), path)
     print(f"wrote {path}")
+    if args.profile:
+        from repro.evaluation.profilereport import profile_payload
+
+        prof_path = path.with_suffix(".hostprof.json")
+        prof_path.write_text(
+            json.dumps(
+                profile_payload(
+                    args.fidelity, {name: _snapshots.get(name, {}) for name in selected}
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {prof_path}")
     return 0
 
 

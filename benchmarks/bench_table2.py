@@ -20,10 +20,19 @@ from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 
 
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_table2_row(benchmark, fidelity, name):
+def test_table2_row(benchmark, fidelity, name, profile_enabled, hostprof_sink):
     workload = workload_by_name(name, fidelity)
 
-    row = run_once(benchmark, lambda: run_workload(workload))
+    row = run_once(
+        benchmark, lambda: run_workload(workload, profile=profile_enabled)
+    )
+    if profile_enabled:
+        for engine, snap in (
+            ("hamr", row.hamr_hostprof),
+            ("hadoop", row.hadoop_hostprof),
+        ):
+            if snap is not None:
+                hostprof_sink.setdefault(name, {})[engine] = {"hostprof": snap}
 
     paper = PAPER_TABLE2[name]
     benchmark.extra_info.update(

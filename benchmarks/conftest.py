@@ -14,6 +14,9 @@ import os
 import pytest
 
 
+_PROFILE_SINK: dict[str, dict] = {}  # workload -> engine -> {"hostprof": snapshot}
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--workloads",
@@ -26,6 +29,32 @@ def pytest_addoption(parser):
         choices=["", "both", "hamr", "hadoop"],
         help="engine filter for bench_obs (default: both)",
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        help="run with the dual-clock host profiler on and write the "
+        "hostprof snapshots next to the results "
+        "(REPRO_BENCH_HOSTPROF_PATH, default bench.hostprof.json)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the accumulated hostprof snapshots when ``--profile`` was on."""
+    if not session.config.getoption("--profile", default=False) or not _PROFILE_SINK:
+        return
+    import json
+    import pathlib
+
+    from repro.evaluation.profilereport import profile_payload
+
+    path = pathlib.Path(
+        os.environ.get("REPRO_BENCH_HOSTPROF_PATH", "bench.hostprof.json")
+    )
+    payload = profile_payload(
+        os.environ.get("REPRO_FIDELITY", "small"), dict(sorted(_PROFILE_SINK.items()))
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
 
 
 @pytest.fixture(scope="session")
@@ -35,13 +64,32 @@ def fidelity() -> str:
 
 @pytest.fixture(scope="session")
 def workloads_filter(request) -> frozenset:
+    from repro.evaluation.workloads import TABLE2_ORDER
+
     raw = request.config.getoption("--workloads")
-    return frozenset(w for w in raw.split(",") if w)
+    selected = frozenset(w for w in raw.split(",") if w)
+    unknown = sorted(selected - set(TABLE2_ORDER))
+    if unknown:
+        raise pytest.UsageError(
+            f"unknown --workloads {unknown}; pick from {list(TABLE2_ORDER)}"
+        )
+    return selected
 
 
 @pytest.fixture(scope="session")
 def engines_filter(request) -> str:
     return request.config.getoption("--engines")
+
+
+@pytest.fixture(scope="session")
+def profile_enabled(request) -> bool:
+    return bool(request.config.getoption("--profile"))
+
+
+@pytest.fixture(scope="session")
+def hostprof_sink() -> dict:
+    """Session-wide collector: workload -> engine -> {"hostprof": snapshot}."""
+    return _PROFILE_SINK
 
 
 def run_once(benchmark, fn):

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.common.sizeof import logical_sizeof, pair_size
+from repro.obs import hostprof as _hostprof
 
 __all__ = [
     "RecordBatch",
@@ -46,7 +47,13 @@ def batch_nbytes(records: Iterable[Any]) -> int:
     ``sum(map(...))`` loop is the fast path, the per-record measure is
     the semantics.
     """
-    return sum(map(logical_sizeof, records))
+    prof = _hostprof.current()
+    if prof is None:
+        return sum(map(logical_sizeof, records))
+    with prof.scope(_hostprof.DATAPLANE, "sizing"):
+        total = sum(map(logical_sizeof, records))
+        prof.units(0, total)
+    return total
 
 
 #: logical size of one key-value pair (re-exported so engine hot paths
@@ -213,6 +220,9 @@ def chunk_records(
         and records.nbytes <= chunk_bytes
     ):
         return [records] if records.records else []
+    prof = _hostprof.current()
+    if prof is not None:
+        prof.push(_hostprof.DATAPLANE, "chunk_records")
     builder = BatchBuilder(chunk_bytes, aggregated=aggregated)
     chunks = []
     for record in records:
@@ -222,4 +232,7 @@ def chunk_records(
     last = builder.drain()
     if last is not None:
         chunks.append(last)
+    if prof is not None:
+        prof.units(builder.records_added, sum(c.nbytes for c in chunks))
+        prof.pop()
     return chunks

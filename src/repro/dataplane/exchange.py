@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.common.sizeof import pair_size
 from repro.dataplane.batch import RecordBatch
+from repro.obs import hostprof as _hostprof
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -52,9 +53,14 @@ def partition_batch(
     loops both engines carried. Only non-empty partitions appear in the
     result; pair order within a partition is input order.
     """
+    prof = _hostprof.current()
+    if prof is not None:
+        prof.push(_hostprof.DATAPLANE, "partition_batch")
     part = partitioner.partition
     batches: dict[int, RecordBatch] = {}
     sizes: dict[int, int] = {}
+    nrecords = 0
+    nbytes = 0
     for pair in pairs:
         p = part(pair[0])
         batch = batches.get(p)
@@ -66,6 +72,11 @@ def partition_batch(
     for p, batch in batches.items():
         batch._nbytes = sizes[p]
         batch.aggregated = aggregated
+        nrecords += len(batch.records)
+        nbytes += sizes[p]
+    if prof is not None:
+        prof.units(nrecords, nbytes)
+        prof.pop()
     return batches
 
 

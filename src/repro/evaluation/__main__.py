@@ -15,7 +15,15 @@ Usage::
                                       [--bins 60] [--json out.json]
                                       [--chrome trace.json]
     python -m repro.evaluation diff A.json B.json [--tolerance 0.01]
+                                      [--host-tolerance 0.15]
                                       [--fail-on-drift] [--json delta.json]
+    python -m repro.evaluation profile [--workload wordcount|all] [--engine both]
+                                      [--json prof.json] [--chrome trace.json]
+    python -m repro.evaluation calibrate [--workload wordcount|all] [--engine both]
+                                      [--json cal.json]
+
+Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
+(the human-readable report then goes nowhere — stdout carries only JSON).
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         choices=[
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
-            "report", "timeline", "diff",
+            "report", "timeline", "diff", "profile", "calibrate",
         ],
     )
     parser.add_argument(
@@ -58,14 +66,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workload",
         default="wordcount",
-        choices=list(TABLE2_ORDER) + ["all"],
-        help="workload for `report`/`timeline` (`all` = every Table 2 workload)",
+        help="workload for `report`/`timeline`/`profile`/`calibrate` "
+        "(`all` = every Table 2 workload)",
     )
     parser.add_argument(
         "--engine",
         default="both",
-        choices=["both", "hamr", "hadoop"],
-        help="engine(s) to trace for `report`/`timeline`",
+        help="engine(s) to trace: both, hamr, or hadoop",
     )
     parser.add_argument(
         "--bins",
@@ -73,7 +80,10 @@ def main(argv: list[str] | None = None) -> int:
         default=60,
         help="time bins per telemetry heatmap row for `timeline` (default 60)",
     )
-    parser.add_argument("--json", metavar="PATH", help="write the report/diff as JSON")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the report/diff as JSON (`-` = JSON to stdout, no ASCII report)",
+    )
     parser.add_argument(
         "--chrome", metavar="PATH", help="write a Chrome/Perfetto trace-event file"
     )
@@ -84,18 +94,43 @@ def main(argv: list[str] | None = None) -> int:
         help="relative virtual-seconds drift tolerance for `diff` (default 1%%)",
     )
     parser.add_argument(
+        "--host-tolerance",
+        type=float,
+        default=0.15,
+        help="`diff`: absolute hostprof bucket-share drift band (default 0.15)",
+    )
+    parser.add_argument(
         "--fail-on-drift",
         action="store_true",
         help="`diff`: exit non-zero when any workload drifts beyond tolerance",
     )
     args = parser.parse_args(argv)
 
+    if args.artifact in ("report", "timeline", "profile", "calibrate"):
+        if args.workload not in list(TABLE2_ORDER) + ["all"]:
+            print(
+                f"error: unknown workload {args.workload!r} "
+                f"(choose from: {', '.join(TABLE2_ORDER)}, all)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.engine not in ("both", "hamr", "hadoop"):
+            print(
+                f"error: unknown engine {args.engine!r} "
+                "(choose from: both, hamr, hadoop)",
+                file=sys.stderr,
+            )
+            return 2
     if args.artifact == "report":
         if args.workload == "all":
             parser.error("report supports a single --workload (not `all`)")
         return _report(args)
     if args.artifact == "timeline":
         return _timeline(args)
+    if args.artifact == "profile":
+        return _profile(args)
+    if args.artifact == "calibrate":
+        return _calibrate(args)
     if args.artifact == "diff":
         if not args.name or not args.name2:
             parser.error("diff requires two artifact paths: A.json B.json")
@@ -147,18 +182,37 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _emit_json(path: str, payload: dict, note: str = "") -> None:
+    """Write a JSON document to ``path``, or to stdout when path is ``-``."""
+    text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"wrote {path}" + (f" ({note})" if note else ""), file=sys.stderr)
+
+
 def _diff(args) -> int:
     """Compare two observability artifacts; optionally gate on drift."""
     from repro.obs.diff import diff_artifacts, load_artifact, render_diff
 
     a = load_artifact(args.name)
     b = load_artifact(args.name2)
-    result = diff_artifacts(a, b, tolerance=args.tolerance)
-    print(render_diff(result, label_a=args.name, label_b=args.name2))
+    result = diff_artifacts(
+        a, b, tolerance=args.tolerance, host_tolerance=args.host_tolerance
+    )
+    if not any(result.rows.values()):
+        print(
+            "error: the two artifacts share no workload × engine rows — "
+            "nothing to compare",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json != "-":
+        print(render_diff(result, label_a=args.name, label_b=args.name2))
     if args.json:
-        with open(args.json, "w") as fh:
-            fh.write(result.to_json(indent=2) + "\n")
-        print(f"wrote {args.json}", file=sys.stderr)
+        _emit_json(args.json, result.to_dict())
     if args.fail_on_drift and not result.ok:
         return 1
     return 0
@@ -186,17 +240,25 @@ def _timeline(args) -> int:
             for engine, tracer in (("hamr", row.hamr_obs), ("hadoop", row.hadoop_obs))
             if tracer is not None
         ]
+        if not traced:
+            print(
+                f"error: no traced engine runs for {name!r} "
+                f"(--engine {args.engine})",
+                file=sys.stderr,
+            )
+            return 2
         for engine, tracer in traced:
             makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
-            print(
-                render_telemetry(
-                    tracer,
-                    title=f"== {row.label} ({row.data_size}) on {engine} — "
-                    f"makespan {makespan:.3f}s ==",
-                    bins=args.bins,
+            if args.json != "-":
+                print(
+                    render_telemetry(
+                        tracer,
+                        title=f"== {row.label} ({row.data_size}) on {engine} — "
+                        f"makespan {makespan:.3f}s ==",
+                        bins=args.bins,
+                    )
                 )
-            )
-            print()
+                print()
             exported.setdefault(name, {})[engine] = telemetry_dict(
                 tracer, name, engine, bins=args.bins
             )
@@ -208,9 +270,7 @@ def _timeline(args) -> int:
             "fidelity": args.fidelity,
             "workloads": exported,
         }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, sort_keys=True, indent=2)
-        print(f"wrote {args.json}", file=sys.stderr)
+        _emit_json(args.json, payload)
     if args.chrome and chrome_pick is not None:
         workload, engine, tracer = chrome_pick
         with open(args.chrome, "w") as fh:
@@ -231,16 +291,24 @@ def _report(args) -> int:
         for engine, tracer in (("hamr", row.hamr_obs), ("hadoop", row.hadoop_obs))
         if tracer is not None
     ]
+    if not traced:
+        print(
+            f"error: no traced engine runs for {args.workload!r} "
+            f"(--engine {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
     for engine, tracer in traced:
         makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
-        print(
-            render_report(
-                tracer,
-                title=f"== {row.label} ({row.data_size}) on {engine} — "
-                f"makespan {makespan:.3f}s ==",
+        if args.json != "-":
+            print(
+                render_report(
+                    tracer,
+                    title=f"== {row.label} ({row.data_size}) on {engine} — "
+                    f"makespan {makespan:.3f}s ==",
+                )
             )
-        )
-        print()
+            print()
     if args.json:
         payload = {
             "schema": REPORT_SCHEMA,
@@ -250,9 +318,7 @@ def _report(args) -> int:
                 for engine, tracer in traced
             },
         }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, sort_keys=True, indent=2)
-        print(f"wrote {args.json}", file=sys.stderr)
+        _emit_json(args.json, payload)
     if args.chrome:
         # one merged trace file; engines run on separate virtual clusters,
         # so export the first traced engine (use --engine to pick).
@@ -260,6 +326,118 @@ def _report(args) -> int:
         with open(args.chrome, "w") as fh:
             json.dump(tracer.to_chrome_trace(), fh, sort_keys=True)
         print(f"wrote {args.chrome} ({engine} run)", file=sys.stderr)
+    return 0
+
+
+def _run_profiled(args, workloads: list[str]):
+    """Run each workload traced+profiled; yield (name, row, traced) tuples.
+
+    ``traced`` pairs each engine with its tracer and hostprof snapshot.
+    """
+    for name in workloads:
+        if len(workloads) > 1:
+            print(f"  running {name} ...", file=sys.stderr, flush=True)
+        row = run_workload(
+            workload_by_name(name, args.fidelity),
+            engines=args.engine,
+            obs=True,
+            profile=True,
+        )
+        traced = [
+            (engine, tracer, snap)
+            for engine, tracer, snap in (
+                ("hamr", row.hamr_obs, row.hamr_hostprof),
+                ("hadoop", row.hadoop_obs, row.hadoop_hostprof),
+            )
+            if tracer is not None and snap is not None
+        ]
+        yield name, row, traced
+
+
+def _profile(args) -> int:
+    """Run workload(s) with the dual clock on; print host profile + fidelity."""
+    from repro.evaluation.profilereport import profile_payload, render_hostprof
+    from repro.obs.fidelity import fidelity_dict, render_fidelity
+
+    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    entries: dict[str, dict] = {}
+    chrome_pick = None
+    for name, row, traced in _run_profiled(args, workloads):
+        if not traced:
+            print(
+                f"error: no profiled engine runs for {name!r} "
+                f"(--engine {args.engine})",
+                file=sys.stderr,
+            )
+            return 2
+        for engine, tracer, snap in traced:
+            makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
+            fid = fidelity_dict(tracer, snap, name, engine)
+            if args.json != "-":
+                print(
+                    render_hostprof(
+                        snap,
+                        title=f"== {row.label} ({row.data_size}) on {engine} — "
+                        f"virtual makespan {makespan:.3f}s, "
+                        f"host {snap['total_ns'] / 1e6:.1f}ms ==",
+                    )
+                )
+                print()
+                print(render_fidelity(fid))
+                print()
+            entries.setdefault(name, {})[engine] = {
+                "hostprof": snap,
+                "fidelity": fid,
+            }
+        if chrome_pick is None:
+            chrome_pick = (name, *traced[0])
+    if args.json:
+        _emit_json(args.json, profile_payload(args.fidelity, entries))
+    if args.chrome and chrome_pick is not None:
+        workload, engine, tracer, snap = chrome_pick
+        with open(args.chrome, "w") as fh:
+            json.dump(tracer.to_chrome_trace(hostprof=snap), fh, sort_keys=True)
+        print(f"wrote {args.chrome} ({workload} on {engine})", file=sys.stderr)
+    return 0
+
+
+def _calibrate(args) -> int:
+    """Re-fit compute-cost constants from measured host time (proposal only)."""
+    from repro.cluster.spec import CostModel
+    from repro.obs.fidelity import (
+        _engine_samples,
+        calibration_dict,
+        fit_cost_constants,
+        render_calibration,
+    )
+
+    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    samples = []
+    sources = []
+    for name, _row, traced in _run_profiled(args, workloads):
+        if not traced:
+            print(
+                f"error: no profiled engine runs for {name!r} "
+                f"(--engine {args.engine})",
+                file=sys.stderr,
+            )
+            return 2
+        for engine, _tracer, snap in traced:
+            samples.extend(_engine_samples(snap))
+            sources.append(f"{name}/{engine}")
+    fit = fit_cost_constants(samples, CostModel())
+    if fit is None:
+        print(
+            "error: no engine-bucket samples with recorded work units — "
+            "nothing to fit",
+            file=sys.stderr,
+        )
+        return 2
+    cal = calibration_dict(fit, sources)
+    if args.json != "-":
+        print(render_calibration(cal))
+    if args.json:
+        _emit_json(args.json, cal)
     return 0
 
 

@@ -20,7 +20,7 @@ from repro.evaluation.report import render_table
 from repro.obs import BUCKETS, Span, Tracer, assign_lanes
 from repro.obs.critpath import from_tracer, render_critpath
 
-REPORT_SCHEMA = "repro.obs.report/v2"
+REPORT_SCHEMA = "repro.obs.report/v3"
 
 #: glyph per task-span name prefix, in legend order
 _GLYPHS = (
@@ -179,6 +179,65 @@ def render_counters(tracer: Tracer) -> str:
     return render_table(["event", "count"], rows, title="Spill, locality and flow control")
 
 
+def spill_by_node(tracer: Tracer) -> dict:
+    """Per-node cumulative spill activity from the node-labeled counters.
+
+    The SpillPool's per-node :class:`~repro.storage.spill.SpillManager`\\ s
+    charge ``spill.runs`` / ``spill.bytes`` / ``spill.bytes_read_back``
+    with a ``node=`` label at every spill — this collects them into the
+    per-node view the report shows (they were charged but never shown).
+    """
+    metrics = tracer.metrics
+    runs = metrics.counter_by("spill.runs", "node")
+    nbytes = metrics.counter_by("spill.bytes", "node")
+    read_back = metrics.counter_by("spill.bytes_read_back", "node")
+    nodes = sorted(
+        n for n in set(runs) | set(nbytes) | set(read_back) if n is not None
+    )
+    return {
+        "nodes": {
+            str(node): {
+                "runs": int(runs.get(node, 0)),
+                "bytes": int(nbytes.get(node, 0)),
+                "bytes_read_back": int(read_back.get(node, 0)),
+            }
+            for node in nodes
+        },
+        "total_runs": int(sum(runs.values())),
+        "total_bytes": int(sum(nbytes.values())),
+        "total_bytes_read_back": int(sum(read_back.values())),
+    }
+
+
+def render_spill(tracer: Tracer) -> str:
+    """Per-node spill table: runs, cumulative bytes, read-back bytes."""
+    spill = spill_by_node(tracer)
+    if not spill["nodes"]:
+        return "(no spill activity recorded)"
+    rows = [
+        [
+            f"n{node}",
+            entry["runs"],
+            format_bytes(entry["bytes"]),
+            format_bytes(entry["bytes_read_back"]),
+        ]
+        for node, entry in spill["nodes"].items()
+    ]
+    rows.append(
+        [
+            "total",
+            spill["total_runs"],
+            format_bytes(spill["total_bytes"]),
+            format_bytes(spill["total_bytes_read_back"]),
+        ]
+    )
+    return render_table(
+        ["node", "spill runs", "bytes spilled", "bytes read back"],
+        rows,
+        title="Spill activity by node (logical bytes)",
+    )
+
+
 def render_percentiles(tracer: Tracer) -> str:
     """p50/p95/p99 summary per histogram family (span durations etc.)."""
     rows = []
@@ -222,11 +281,12 @@ def render_report(tracer: Tracer, title: str = "") -> str:
     parts.append(render_percentiles(tracer))
     parts.append(render_utilization(tracer))
     parts.append(render_counters(tracer))
+    parts.append(render_spill(tracer))
     return "\n\n".join(parts)
 
 
 def report_dict(tracer: Tracer, workload: str, engine: str) -> dict:
-    """Deterministic JSON-serializable report (schema ``repro.obs.report/v2``)."""
+    """Deterministic JSON-serializable report (schema ``repro.obs.report/v3``)."""
     spans = tracer.finished_spans()
     return {
         "schema": REPORT_SCHEMA,
@@ -234,6 +294,7 @@ def report_dict(tracer: Tracer, workload: str, engine: str) -> dict:
         "engine": engine,
         "virtual_end": tracer.sim.now,
         "blame": tracer.blame.snapshot(),
+        "spill": spill_by_node(tracer),
         "counters": {
             name: tracer.metrics.counter_total(name)
             for name in tracer.metrics.names()

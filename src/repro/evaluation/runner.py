@@ -33,6 +33,10 @@ class BenchmarkRow:
     #: virtual clock — varies run to run, excluded from drift comparisons)
     hamr_wall_seconds: float = 0.0
     hadoop_wall_seconds: float = 0.0
+    #: host-time profiler snapshots (repro.obs.hostprof/v1 dicts; None
+    #: unless ``profile=True``) — host ns per bucket/operator, clock track
+    hamr_hostprof: Optional[dict] = field(default=None, repr=False)
+    hadoop_hostprof: Optional[dict] = field(default=None, repr=False)
 
     @property
     def speedup(self) -> float:
@@ -51,27 +55,51 @@ class BenchmarkRow:
         return lo <= self.speedup <= hi
 
 
-def run_workload(workload: Workload, engines: str = "both", obs: bool = False) -> BenchmarkRow:
+def run_workload(
+    workload: Workload,
+    engines: str = "both",
+    obs: bool = False,
+    profile: bool = False,
+) -> BenchmarkRow:
     """Run a workload on fresh environments and assemble its row.
 
     ``engines`` may be ``"both"``, ``"hamr"`` or ``"hadoop"`` (missing
     engine columns are reported as 0). With ``obs=True`` each run keeps
     its observability tracer on the row (``hamr_obs`` / ``hadoop_obs``).
+    With ``profile=True`` each run is host-time profiled (a fresh
+    :class:`~repro.obs.hostprof.HostProfiler` per engine, attached to the
+    sim kernel and activated globally for dataplane/storage hooks) and
+    the row carries the snapshots — the virtual results are byte-identical
+    either way.
     """
+
+    def _run(runner, env):
+        prof = None
+        if profile:
+            from repro.obs.hostprof import HostProfiler
+
+            prof = HostProfiler()
+            env.cluster.sim.hostprof = prof
+        t0 = time.perf_counter()
+        if prof is not None:
+            with prof.activation():
+                result = runner(env, workload.params, workload.records)
+        else:
+            result = runner(env, workload.params, workload.records)
+        wall = time.perf_counter() - t0
+        return result, wall, (prof.snapshot() if prof is not None else None)
+
     hamr_result = hadoop_result = None
     hamr_obs = hadoop_obs = None
     hamr_wall = hadoop_wall = 0.0
+    hamr_prof = hadoop_prof = None
     if engines in ("both", "hamr"):
         env = workload.fresh_env(obs=obs)
-        t0 = time.perf_counter()
-        hamr_result = workload.run_hamr(env, workload.params, workload.records)
-        hamr_wall = time.perf_counter() - t0
+        hamr_result, hamr_wall, hamr_prof = _run(workload.run_hamr, env)
         hamr_obs = env.obs if obs else None
     if engines in ("both", "hadoop"):
         env = workload.fresh_env(obs=obs)
-        t0 = time.perf_counter()
-        hadoop_result = workload.run_hadoop(env, workload.params, workload.records)
-        hadoop_wall = time.perf_counter() - t0
+        hadoop_result, hadoop_wall, hadoop_prof = _run(workload.run_hadoop, env)
         hadoop_obs = env.obs if obs else None
     return BenchmarkRow(
         name=workload.name,
@@ -86,4 +114,6 @@ def run_workload(workload: Workload, engines: str = "both", obs: bool = False) -
         hadoop_obs=hadoop_obs,
         hamr_wall_seconds=hamr_wall,
         hadoop_wall_seconds=hadoop_wall,
+        hamr_hostprof=hamr_prof,
+        hadoop_hostprof=hadoop_prof,
     )

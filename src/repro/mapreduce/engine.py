@@ -30,6 +30,7 @@ from repro.cluster.placement import assign_splits
 from repro.dataplane import RecordBatch, SpillPool, partition_batch, spill_batch
 from repro.mapreduce.api import MRContext, MRJob
 from repro.obs import COMPUTE, DISK, EDGE_BARRIER, EDGE_SHUFFLE, NETWORK, STARTUP
+from repro.obs import hostprof as _hostprof
 from repro.sim import Resource
 from repro.sim.core import SimEvent
 from repro.storage.dfs import DFS
@@ -366,9 +367,19 @@ class HadoopEngine:
                 if fail:
                     # the attempt dies after burning its input read and compute
                     return False
-                for record in records:
-                    key, value = record
-                    job.mapper.map(ctx, key, value)
+                prof = _hostprof.current()
+                if prof is None:
+                    for record in records:
+                        key, value = record
+                        job.mapper.map(ctx, key, value)
+                else:
+                    # host-clock frame around the synchronous user-map loop
+                    # only (a scope must never contain a yield)
+                    with prof.scope(_hostprof.ENGINE, "map"):
+                        prof.units(split.nrecords, split.nbytes)
+                        for record in records:
+                            key, value = record
+                            job.mapper.map(ctx, key, value)
                 pairs = ctx.take()
                 self._merge_counters(state, ctx)
 
@@ -381,6 +392,9 @@ class HadoopEngine:
                 )
                 raw_bytes = sum(b.nbytes for b in by_partition.values())
                 total_bytes = 0
+                if prof is not None:
+                    prof.push(_hostprof.ENGINE, "map.sort")
+                    prof.units(len(pairs), raw_bytes)
                 for p, batch in by_partition.items():
                     batch.sort(key=lambda kv: repr(kv[0]))
                     if job.combiner is not None:
@@ -390,6 +404,8 @@ class HadoopEngine:
                         )
                     out.partitions[p] = batch
                     total_bytes += batch.nbytes
+                if prof is not None:  # frame ends before the next yield
+                    prof.pop()
                 # Sort CPU over the pre-combine volume, spill count from buffer size.
                 t0 = sim.now
                 yield node.record_compute(
@@ -499,10 +515,15 @@ class HadoopEngine:
                             # run; its size is the segments' cached sizes
                             # summed, never a re-sizing pass.
                             merged = RecordBatch(nbytes=0)
+                            prof = _hostprof.current()
+                            if prof is not None:
+                                prof.push(_hostprof.ENGINE, "reduce.merge")
                             for seg in segments:
                                 merged.records.extend(seg.records)
                                 merged._nbytes += seg.nbytes
                             merged.sort(key=lambda kv: repr(kv[0]))
+                            if prof is not None:
+                                prof.pop()
                             run = yield from spill_batch(
                                 spill, merged, sorted_by_key=True, parent=rspan
                             )
@@ -530,18 +551,27 @@ class HadoopEngine:
                 groups: dict[Any, list] = {}
                 merge_records = 0
                 merge_bytes = 0
+                prof = _hostprof.current()
                 for run in spill_runs:
                     pairs = yield from spill.read_back(run)
                     spill.free(run)
                     obs.edge(spill.last_span_id, rspan, EDGE_BARRIER)
+                    if prof is not None:
+                        prof.push(_hostprof.ENGINE, "reduce.merge")
                     for key, value in pairs:
                         groups.setdefault(key, []).append(value)
                         merge_records += 1
+                    if prof is not None:
+                        prof.pop()
                     merge_bytes += run.nbytes
+                if prof is not None:
+                    prof.push(_hostprof.ENGINE, "reduce.merge")
                 for seg in segments:
                     for key, value in seg:
                         groups.setdefault(key, []).append(value)
                         merge_records += 1
+                if prof is not None:
+                    prof.pop()
                 merge_bytes += resident_bytes
                 t0 = sim.now
                 yield node.record_compute(
@@ -554,8 +584,14 @@ class HadoopEngine:
                 )
                 if obs.enabled:
                     obs.charge(job.name, COMPUTE, sim.now - t0, node=node.node_id, span=rspan)
-                for key in sorted(groups, key=repr):
-                    job.reducer.reduce(ctx, key, groups[key])
+                if prof is None:
+                    for key in sorted(groups, key=repr):
+                        job.reducer.reduce(ctx, key, groups[key])
+                else:
+                    with prof.scope(_hostprof.ENGINE, "reduce"):
+                        prof.units(merge_records, merge_bytes)
+                        for key in sorted(groups, key=repr):
+                            job.reducer.reduce(ctx, key, groups[key])
                 output_pairs = ctx.take()
                 self._merge_counters(state, ctx)
                 if accounted_bytes:

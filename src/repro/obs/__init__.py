@@ -36,6 +36,11 @@ from repro.obs.spans import (
     Tracer,
     assign_lanes,
 )
+from repro.obs.hostprof import (
+    HOST_BUCKETS,
+    HOSTPROF_SCHEMA,
+    HostProfiler,
+)
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
     SkewReport,
@@ -74,6 +79,9 @@ __all__ = [
     "STALL",
     "ATOMIC",
     "STARTUP",
+    "HOSTPROF_SCHEMA",
+    "HOST_BUCKETS",
+    "HostProfiler",
     "TELEMETRY_SCHEMA",
     "TimelineSampler",
     "TrafficMatrix",

@@ -1,0 +1,354 @@
+"""Host-time profiler: where the *real* nanoseconds go.
+
+Everything else in ``repro.obs`` reads the virtual clock; this module is
+the second clock of the dual-clock design. A :class:`HostProfiler`
+attributes ``time.perf_counter_ns`` cost to the same identifiers the
+virtual stack already uses — subsystem bucket (``sim-kernel`` /
+``engine`` / ``dataplane`` / ``storage``), sim-process label, operator
+label matching the span names (``map:words``, ``reduce``, ...) — so host
+and modeled cost can be joined per operator (see
+:mod:`repro.obs.fidelity`).
+
+Design constraints, in order:
+
+1. **Non-perturbing.** The profiler only ever *reads* the host clock and
+   mutates its own counters; it never touches simulation state. Virtual
+   results are byte-identical with profiling on or off (asserted by the
+   determinism suites). Instrumentation sites therefore only wrap
+   *synchronous* code — a scope must never contain a generator ``yield``,
+   or suspended host time would be mis-attributed to the frame.
+2. **Off by default, near-zero when off.** Hooks are guarded by a single
+   ``is None`` check (``Simulator.hostprof`` / :func:`current`).
+3. **Exact accounting.** Self/total times use integer nanoseconds and
+   telescope: the per-bucket self-times sum *exactly* to the measured
+   root total (``sum(buckets.values()) == total_ns``).
+
+The profiler is handed out two ways: the sim kernel reads the
+``Simulator.hostprof`` attribute (plain attribute, no import of this
+package from ``repro.sim``), while dataplane/storage/engine hot paths
+use the module-global :func:`current` (activated around a run by the
+evaluation runner). Identifiers with unbounded cardinality (per-task
+process names like ``wc.map12``) are collapsed via
+:func:`normalize_label` (digit runs become ``*``).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "HOSTPROF_SCHEMA",
+    "HOST_BUCKETS",
+    "SIM_KERNEL",
+    "ENGINE",
+    "DATAPLANE",
+    "STORAGE",
+    "HostProfiler",
+    "normalize_label",
+    "current",
+    "activate",
+    "deactivate",
+    "merge_snapshots",
+]
+
+HOSTPROF_SCHEMA = "repro.obs.hostprof/v1"
+
+SIM_KERNEL = "sim-kernel"
+ENGINE = "engine"
+DATAPLANE = "dataplane"
+STORAGE = "storage"
+
+#: subsystem buckets, in display order
+HOST_BUCKETS = (SIM_KERNEL, ENGINE, DATAPLANE, STORAGE)
+
+_DIGIT_RUN = re.compile(r"\d+")
+
+#: default clock-track sampling stride: one sample per ms of host time
+_SAMPLE_INTERVAL_NS = 1_000_000
+#: samples are thinned 2x whenever they exceed this cap (bounded memory)
+_SAMPLE_CAP = 4096
+
+
+def normalize_label(name: str) -> str:
+    """Collapse digit runs so per-task names don't explode cardinality.
+
+    ``wordcount.map12`` and ``wordcount.map3`` both become
+    ``wordcount.map*`` — one aggregation row per process *kind*.
+    """
+    return _DIGIT_RUN.sub("*", name)
+
+
+class HostProfiler:
+    """Scoped host-nanosecond accounting with exact self/total telescoping.
+
+    A frame is pushed per instrumented scope; on pop the elapsed host
+    nanoseconds are split into *self* (elapsed minus child time) and
+    rolled up into a flat view keyed ``(bucket, label)`` and a top-down
+    tree keyed by the full frame path. ``clock`` is injectable (tests use
+    a fake deterministic timer).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        sample_interval_ns: int = _SAMPLE_INTERVAL_NS,
+    ):
+        self._clock = clock
+        # frame: [bucket, label, start_ns, child_ns, path]
+        self._stack: list[list[Any]] = []
+        # (bucket, label) -> [calls, self_ns, total_ns, records, nbytes]
+        self._flat: dict[tuple[str, str], list[int]] = {}
+        # path tuple of (bucket, label) -> [calls, self_ns, total_ns]
+        self._tree: dict[tuple[tuple[str, str], ...], list[int]] = {}
+        self._bucket_self: dict[str, int] = {}
+        #: total measured host ns (sum over root frames; buckets sum to this)
+        self.total_ns = 0
+        # second-clock track: (virtual_time, cumulative_host_ns) samples
+        self._samples: list[tuple[float, int]] = []
+        self._sample_interval_ns = sample_interval_ns
+        self._last_sample_ns = -sample_interval_ns
+
+    # -- hot path -----------------------------------------------------------------
+
+    def push(self, bucket: str, label: str) -> None:
+        stack = self._stack
+        path = (stack[-1][4] if stack else ()) + ((bucket, label),)
+        stack.append([bucket, label, self._clock(), 0, path])
+
+    def pop(self) -> None:
+        bucket, label, start, child, path = self._stack.pop()
+        elapsed = self._clock() - start
+        if elapsed < 0:  # non-monotonic fake clocks in tests
+            elapsed = 0
+        self_ns = elapsed - child
+        if self_ns < 0:
+            self_ns = 0
+        if self._stack:
+            self._stack[-1][3] += elapsed
+        else:
+            self.total_ns += elapsed
+        entry = self._flat.get((bucket, label))
+        if entry is None:
+            self._flat[(bucket, label)] = [1, self_ns, elapsed, 0, 0]
+        else:
+            entry[0] += 1
+            entry[1] += self_ns
+            entry[2] += elapsed
+        node = self._tree.get(path)
+        if node is None:
+            self._tree[path] = [1, self_ns, elapsed]
+        else:
+            node[0] += 1
+            node[1] += self_ns
+            node[2] += elapsed
+        self._bucket_self[bucket] = self._bucket_self.get(bucket, 0) + self_ns
+
+    class _Scope:
+        __slots__ = ("_prof", "_bucket", "_label")
+
+        def __init__(self, prof: "HostProfiler", bucket: str, label: str):
+            self._prof = prof
+            self._bucket = bucket
+            self._label = label
+
+        def __enter__(self):
+            self._prof.push(self._bucket, self._label)
+            return self._prof
+
+        def __exit__(self, *exc):
+            self._prof.pop()
+            return False
+
+    def scope(self, bucket: str, label: str) -> "HostProfiler._Scope":
+        """Context manager measuring one synchronous section."""
+        return HostProfiler._Scope(self, bucket, label)
+
+    def units(self, records: int = 0, nbytes: int = 0) -> None:
+        """Attribute work units (real records/bytes) to the current frame.
+
+        The calibration fitter (:mod:`repro.obs.fidelity`) regresses
+        host self-ns against these to re-derive cost-model constants.
+        """
+        if not self._stack:
+            return
+        bucket, label = self._stack[-1][0], self._stack[-1][1]
+        entry = self._flat.get((bucket, label))
+        if entry is None:
+            entry = self._flat[(bucket, label)] = [0, 0, 0, 0, 0]
+        entry[3] += int(records)
+        entry[4] += int(nbytes)
+
+    def tick(self, virtual_time: float) -> None:
+        """Record a (virtual time, cumulative host ns) clock sample.
+
+        Called by the sim kernel after each event dispatch; strided so a
+        long run keeps a bounded, deterministic-size sample track for the
+        Chrome/Perfetto second-clock counter.
+        """
+        if self.total_ns - self._last_sample_ns < self._sample_interval_ns:
+            return
+        self._last_sample_ns = self.total_ns
+        samples = self._samples
+        samples.append((virtual_time, self.total_ns))
+        if len(samples) > _SAMPLE_CAP:
+            del samples[1::2]  # thin 2x, keep endpoints-ish; double stride
+            self._sample_interval_ns *= 2
+
+    # -- views --------------------------------------------------------------------
+
+    def bucket_self_ns(self) -> dict[str, int]:
+        """Self host-ns per subsystem bucket; sums exactly to total_ns."""
+        out = {bucket: self._bucket_self.get(bucket, 0) for bucket in HOST_BUCKETS}
+        for bucket in sorted(self._bucket_self):
+            if bucket not in out:  # ad-hoc buckets from custom scopes
+                out[bucket] = self._bucket_self[bucket]
+        return out
+
+    def clock_samples(self) -> list[tuple[float, int]]:
+        return list(self._samples)
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready aggregate (schema ``repro.obs.hostprof/v1``).
+
+        Determinism caveat: *which* rows exist and all call/record counts
+        are run-deterministic; the nanosecond values are host noise unless
+        a fake clock is injected. Consumers that gate must gate on shares
+        or counts, never raw ns.
+        """
+        buckets = self.bucket_self_ns()
+        flat = [
+            {
+                "bucket": bucket,
+                "label": label,
+                "calls": entry[0],
+                "self_ns": entry[1],
+                "total_ns": entry[2],
+                "records": entry[3],
+                "nbytes": entry[4],
+            }
+            for (bucket, label), entry in sorted(self._flat.items())
+        ]
+        tree = [
+            {
+                "path": ["/".join(frame) for frame in path],
+                "depth": len(path),
+                "calls": node[0],
+                "self_ns": node[1],
+                "total_ns": node[2],
+            }
+            for path, node in sorted(self._tree.items())
+        ]
+        total = self.total_ns
+        return {
+            "schema": HOSTPROF_SCHEMA,
+            "total_ns": total,
+            "buckets": buckets,
+            "shares": {
+                bucket: (round(ns / total, 6) if total else 0.0)
+                for bucket, ns in buckets.items()
+            },
+            "flat": flat,
+            "tree": tree,
+            "clock": [[t, ns] for t, ns in self._samples],
+        }
+
+    def activation(self) -> "_Activation":
+        """Context manager installing this profiler as :func:`current`."""
+        return _Activation(self)
+
+
+# -- module-global active profiler ------------------------------------------------
+#
+# Dataplane and storage hot paths have no tracer handle threaded through;
+# they ask for the active profiler here. ``None`` (the default) keeps the
+# guard to a single global read + identity check.
+
+_ACTIVE: Optional[HostProfiler] = None
+
+
+def current() -> Optional[HostProfiler]:
+    """The active profiler, or None when profiling is off (the default)."""
+    return _ACTIVE
+
+
+def activate(prof: Optional[HostProfiler]) -> None:
+    global _ACTIVE
+    _ACTIVE = prof
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class _Activation:
+    __slots__ = ("_prof", "_previous")
+
+    def __init__(self, prof: HostProfiler):
+        self._prof = prof
+        self._previous: Optional[HostProfiler] = None
+
+    def __enter__(self) -> HostProfiler:
+        self._previous = current()
+        activate(self._prof)
+        return self._prof
+
+    def __exit__(self, *exc):
+        activate(self._previous)
+        return False
+
+
+# -- snapshot arithmetic -----------------------------------------------------------
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Pool several v1 snapshots (e.g. across workloads) into one.
+
+    Flat rows merge by (bucket, label); the tree and clock track are
+    dropped (they are per-run views). Used by ``calibrate`` to fit over
+    a whole fleet of measured runs.
+    """
+    flat: dict[tuple[str, str], list[int]] = {}
+    buckets: dict[str, int] = {bucket: 0 for bucket in HOST_BUCKETS}
+    total = 0
+    for snap in snapshots:
+        if snap.get("schema") != HOSTPROF_SCHEMA:
+            raise ValueError(
+                f"cannot merge snapshot with schema {snap.get('schema')!r}"
+            )
+        total += snap["total_ns"]
+        for bucket, ns in snap["buckets"].items():
+            buckets[bucket] = buckets.get(bucket, 0) + ns
+        for row in snap["flat"]:
+            key = (row["bucket"], row["label"])
+            entry = flat.setdefault(key, [0, 0, 0, 0, 0])
+            entry[0] += row["calls"]
+            entry[1] += row["self_ns"]
+            entry[2] += row["total_ns"]
+            entry[3] += row["records"]
+            entry[4] += row["nbytes"]
+    return {
+        "schema": HOSTPROF_SCHEMA,
+        "total_ns": total,
+        "buckets": buckets,
+        "shares": {
+            bucket: (round(ns / total, 6) if total else 0.0)
+            for bucket, ns in buckets.items()
+        },
+        "flat": [
+            {
+                "bucket": bucket,
+                "label": label,
+                "calls": entry[0],
+                "self_ns": entry[1],
+                "total_ns": entry[2],
+                "records": entry[3],
+                "nbytes": entry[4],
+            }
+            for (bucket, label), entry in sorted(flat.items())
+        ],
+        "tree": [],
+        "clock": [],
+    }

@@ -338,7 +338,9 @@ class Tracer:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
-    def to_chrome_trace(self, time_unit: float = 1e6) -> dict:
+    def to_chrome_trace(
+        self, time_unit: float = 1e6, hostprof: Optional[dict] = None
+    ) -> dict:
         """Chrome ``chrome://tracing`` / Perfetto trace-event JSON.
 
         Finished spans become complete ``"X"`` events sorted by timestamp
@@ -347,6 +349,11 @@ class Tracer:
         become flow events (``"s"``/``"f"`` pairs), so producer→consumer
         arrows render in the Perfetto UI. Virtual seconds map to trace
         microseconds via ``time_unit``.
+
+        ``hostprof`` (a ``repro.obs.hostprof/v1`` snapshot from the same
+        run) adds the second clock as a counter track: cumulative host
+        milliseconds sampled against virtual time, so model-time and
+        real-time progress render side by side.
         """
         spans = sorted(
             self.finished_spans(), key=lambda s: (s.start, s.span_id)
@@ -437,6 +444,21 @@ class Tracer:
                         "pid": node,
                         "tid": 0,
                         "args": {track: round(cumulative, 6)},
+                    }
+                )
+        # Second clock track: cumulative host ms against virtual time (the
+        # dual-clock view — a steep segment is a virtual interval that cost
+        # disproportionate real compute). pid -1 keeps it off node lanes.
+        if hostprof is not None:
+            for t, ns in hostprof.get("clock", []):
+                events.append(
+                    {
+                        "name": "hostclock.cumulative_ms",
+                        "ph": "C",
+                        "ts": round(t * time_unit),
+                        "pid": -1,
+                        "tid": 0,
+                        "args": {"host_ms": round(ns / 1e6, 3)},
                     }
                 )
         # Global ts order (required by the format); stable tiebreak keeps the

@@ -11,16 +11,28 @@ Design notes
 * Processes are generators resumed by the kernel. A process that raises
   propagates the exception to joiners; a failure nobody observes aborts the
   simulation rather than passing silently.
+* Dual-clock hook: when a host-time profiler is attached
+  (``Simulator.hostprof``, set externally — the kernel never imports
+  ``repro.obs``), every event dispatch and every process resume is
+  wrapped in a host-ns frame. The profiler only reads ``perf_counter``;
+  the virtual schedule is byte-identical with profiling on or off.
 """
 
 from __future__ import annotations
 
 import heapq
+import re
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.common.errors import DeadlockError, SimulationError
 
 ProcessGen = Generator[Any, Any, Any]
+
+#: hostprof bucket names (mirrors repro.obs.hostprof, which we must not import)
+_HOSTPROF_KERNEL_BUCKET = "sim-kernel"
+_HOSTPROF_ENGINE_BUCKET = "engine"
+
+_DIGIT_RUN = re.compile(r"\d+")
 
 
 class SimEvent:
@@ -154,11 +166,12 @@ class Process:
     another process joins it.
     """
 
-    __slots__ = ("sim", "name", "generator", "completion", "_waited_on")
+    __slots__ = ("sim", "name", "generator", "completion", "_waited_on", "_prof_label")
 
     def __init__(self, sim: "Simulator", generator: ProcessGen, name: str = ""):
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
+        self._prof_label: Optional[str] = None  # cached hostprof label
         self.generator = generator
         self.completion = SimEvent(sim, name=f"{self.name}.completion")
         self._waited_on = False
@@ -175,21 +188,32 @@ class Process:
 
     def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
         self.sim._blocked.discard(self)
+        prof = self.sim.hostprof
+        if prof is not None:
+            label = self._prof_label
+            if label is None:
+                # collapse digit runs so wc.map12 / wc.map3 share one row
+                label = self._prof_label = "process:" + _DIGIT_RUN.sub("*", self.name)
+            prof.push(_HOSTPROF_ENGINE_BUCKET, label)
         try:
-            if exception is not None:
-                yielded = self.generator.throw(exception)
-            else:
-                yielded = self.generator.send(value)
-        except StopIteration as stop:
-            self.completion.trigger(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - must forward user errors
-            self.completion.fail(exc)
-            self.sim._note_failure(self, exc)
-            return
-        event = self._as_event(yielded)
-        self.sim._blocked.add(self)
-        event.add_callback(self._on_event)
+            try:
+                if exception is not None:
+                    yielded = self.generator.throw(exception)
+                else:
+                    yielded = self.generator.send(value)
+            except StopIteration as stop:
+                self.completion.trigger(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - must forward user errors
+                self.completion.fail(exc)
+                self.sim._note_failure(self, exc)
+                return
+            event = self._as_event(yielded)
+            self.sim._blocked.add(self)
+            event.add_callback(self._on_event)
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _on_event(self, event: SimEvent) -> None:
         if event.exception is not None:
@@ -232,6 +256,9 @@ class Simulator:
         self._blocked: set[Process] = set()
         self._failures: list[tuple[Process, BaseException]] = []
         self._processes_started = 0
+        #: optional host-time profiler (duck-typed repro.obs.hostprof
+        #: HostProfiler); attached externally, never imported here
+        self.hostprof = None
 
     # -- public API ----------------------------------------------------------
 
@@ -277,7 +304,16 @@ class Simulator:
             if time < self.now:
                 raise SimulationError(f"time went backwards: {time} < {self.now}")
             self.now = time
-            event._fire()
+            prof = self.hostprof
+            if prof is None:
+                event._fire()
+            else:
+                prof.push(_HOSTPROF_KERNEL_BUCKET, "dispatch")
+                try:
+                    event._fire()
+                finally:
+                    prof.pop()
+                prof.tick(self.now)
             self._raise_unobserved_failure()
         if self._blocked:
             alive = ", ".join(sorted(p.name for p in self._blocked))
@@ -294,7 +330,16 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"time went backwards: {time} < {self.now}")
         self.now = time
-        event._fire()
+        prof = self.hostprof
+        if prof is None:
+            event._fire()
+        else:
+            prof.push(_HOSTPROF_KERNEL_BUCKET, "dispatch")
+            try:
+                event._fire()
+            finally:
+                prof.pop()
+            prof.tick(self.now)
         self._raise_unobserved_failure()
         return True
 

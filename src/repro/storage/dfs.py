@@ -23,6 +23,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.dataplane.batch import BatchBuilder, RecordBatch
 from repro.obs import DISK, NETWORK
+from repro.obs import hostprof as _hostprof
 
 
 @dataclass
@@ -119,6 +120,9 @@ class DFS:
         """
         if name in self._files:
             raise StorageError(f"DFS: file {name!r} already exists")
+        prof = _hostprof.current()
+        if prof is not None:
+            prof.push(_hostprof.STORAGE, "dfs.ingest")
         file = DistributedFile(name)
         self._files[name] = file
         builder = BatchBuilder(
@@ -135,6 +139,9 @@ class DFS:
             self._seal_block(file, last.records, last.nbytes)
         elif not file.blocks:
             self._seal_block(file, [], 0)
+        if prof is not None:
+            prof.units(builder.records_added, sum(b.nbytes for b in file.blocks))
+            prof.pop()
         return file
 
     def _seal_block(self, file: DistributedFile, records: list[Any], nbytes: int) -> None:

@@ -16,6 +16,7 @@ from repro.common.errors import StorageError
 from repro.common.sizeof import logical_sizeof
 from repro.cluster.node import Node
 from repro.obs import COMPUTE, DISK, EDGE_PRODUCE, EDGE_SPILL, Span
+from repro.obs import hostprof as _hostprof
 
 
 @dataclass
@@ -74,9 +75,19 @@ class SpillManager:
         must equal the per-record sum, which is re-derived otherwise).
         Returns the new :class:`SpillRun`.
         """
-        recs = list(records)
-        if nbytes is None:
-            nbytes = sum(map(self._record_size, recs))
+        prof = _hostprof.current()
+        if prof is None:
+            recs = list(records)
+            if nbytes is None:
+                nbytes = sum(map(self._record_size, recs))
+        else:
+            # host-clock frame around the synchronous staging part only
+            # (the charged disk/serde below are virtual-clock yields)
+            with prof.scope(_hostprof.STORAGE, "spill"):
+                recs = list(records)
+                if nbytes is None:
+                    nbytes = sum(map(self._record_size, recs))
+                prof.units(len(recs), nbytes)
         run = SpillRun(self._next_id, self.node.node_id, recs, nbytes, sorted_by_key)
         self._next_id += 1
         self._live[run.run_id] = run
@@ -132,7 +143,12 @@ class SpillManager:
         obs.count("spill.bytes_read_back", run.nbytes, node=node_id)
         if reacquire_memory:
             self.node.alloc(run.nbytes)
-        return list(run.records)
+        prof = _hostprof.current()
+        if prof is None:
+            return list(run.records)
+        with prof.scope(_hostprof.STORAGE, "spill.read_back"):
+            prof.units(run.nrecords, run.nbytes)
+            return list(run.records)
 
     def free(self, run: SpillRun) -> None:
         if run.freed:

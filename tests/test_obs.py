@@ -34,10 +34,18 @@ def _tracer(enabled=True):
     return Tracer(Simulator(), enabled=enabled)
 
 
-def _run_traced_wordcount(seed=0, target_bytes=50_000):
+def _run_traced_wordcount(seed=0, target_bytes=50_000, profile=False):
     params = wordcount.WordCountParams(target_bytes=target_bytes, seed=seed)
     records = wordcount.generate_input(params)
     env = AppEnv(small_cluster_spec(num_workers=3), obs=True)
+    if profile:
+        from repro.obs.hostprof import HostProfiler
+
+        prof = HostProfiler()
+        env.cluster.sim.hostprof = prof
+        with prof.activation():
+            result = wordcount.run_hamr(env, params, records)
+        return env, result, prof
     result = wordcount.run_hamr(env, params, records)
     return env, result
 
@@ -306,11 +314,30 @@ class TestTracedRun:
     def test_report_dict_schema(self, traced):
         env, _result = traced
         rep = report_dict(env.obs, "wordcount", "hamr")
-        assert rep["schema"] == "repro.obs.report/v2"
+        assert rep["schema"] == "repro.obs.report/v3"
         assert rep["engine"] == "hamr"
         assert rep["trace"]["schema"] == "repro.obs.trace/v2"
         assert rep["span_counts"]["task"] > 0
         assert rep["critpath"]["schema"] == "repro.obs.critpath/v1"
+
+    def test_report_spill_section(self, traced):
+        env, _result = traced
+        rep = report_dict(env.obs, "wordcount", "hamr")
+        spill = rep["spill"]
+        assert set(spill) == {
+            "nodes", "total_runs", "total_bytes", "total_bytes_read_back",
+        }
+        # totals are exactly the sum over per-node entries
+        assert spill["total_runs"] == sum(
+            e["runs"] for e in spill["nodes"].values()
+        )
+        assert spill["total_bytes"] == sum(
+            e["bytes"] for e in spill["nodes"].values()
+        )
+        # the per-node view matches the unlabeled counter totals
+        assert spill["total_bytes"] == int(
+            env.obs.metrics.counter_total("spill.bytes")
+        )
 
 
 class TestDeterminism:
@@ -334,6 +361,24 @@ class TestDeterminism:
             result = wordcount.run_hamr(env, params, records)
             makespans.append(result.makespan)
         assert makespans[0] == makespans[1]
+
+    def test_profiling_does_not_perturb_virtual_outputs(self):
+        """The dual clock is provably one-way: with the host profiler on,
+        every virtual-clock artifact stays byte-identical."""
+        env_off, res_off = _run_traced_wordcount()
+        env_on, res_on, prof = _run_traced_wordcount(profile=True)
+        assert res_off.makespan == res_on.makespan
+        assert env_off.obs.to_json() == env_on.obs.to_json()
+        assert report_json(env_off.obs, "wordcount", "hamr") == report_json(
+            env_on.obs, "wordcount", "hamr"
+        )
+        assert json.dumps(env_off.obs.to_chrome_trace(), sort_keys=True) == json.dumps(
+            env_on.obs.to_chrome_trace(), sort_keys=True
+        )
+        # ... while the host clock actually measured something coherent
+        snap = prof.snapshot()
+        assert snap["total_ns"] > 0
+        assert sum(snap["buckets"].values()) == snap["total_ns"]
 
 
 class TestHadoopTracing:

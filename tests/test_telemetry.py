@@ -35,12 +35,20 @@ def _sampler(enabled=True):
     return TimelineSampler(Simulator(), enabled=enabled)
 
 
-def _run_traced(engine="hamr", seed=0, target_bytes=50_000):
+def _run_traced(engine="hamr", seed=0, target_bytes=50_000, profile=False):
     params = wordcount.WordCountParams(target_bytes=target_bytes, seed=seed)
     records = wordcount.generate_input(params)
     env = AppEnv(small_cluster_spec(num_workers=3), obs=True)
     runner = wordcount.run_hamr if engine == "hamr" else wordcount.run_hadoop
-    result = runner(env, params, records)
+    if profile:
+        from repro.obs.hostprof import HostProfiler
+
+        prof = HostProfiler()
+        env.cluster.sim.hostprof = prof
+        with prof.activation():
+            result = runner(env, params, records)
+    else:
+        result = runner(env, params, records)
     return env, result
 
 
@@ -329,6 +337,14 @@ class TestTelemetryDeterminism:
         c1 = json.dumps(env1.obs.to_chrome_trace(), sort_keys=True)
         c2 = json.dumps(env2.obs.to_chrome_trace(), sort_keys=True)
         assert c1 == c2
+
+    @pytest.mark.parametrize("engine", ["hamr", "hadoop"])
+    def test_host_profiling_leaves_telemetry_byte_identical(self, engine):
+        env_off, _ = _run_traced(engine)
+        env_on, _ = _run_traced(engine, profile=True)
+        assert telemetry_json(env_off.obs, "wordcount", engine) == telemetry_json(
+            env_on.obs, "wordcount", engine
+        )
 
     def test_both_engines_share_dataplane_accounting(self):
         # The two engines model different systems, so volumes differ — but
