@@ -134,10 +134,34 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0, hostprof=None):
     }
 
 
-def run_row(name: str, fidelity: str, engines: str = "both") -> dict:
-    """Run one traced+profiled workload row and build its artifact entry."""
+def run_row(
+    name: str, fidelity: str, engines: str = "both",
+    journal_stem: str | None = None,
+) -> dict:
+    """Run one traced+profiled workload row and build its artifact entry.
+
+    ``journal_stem`` additionally writes one durable run journal per
+    engine to ``<journal_stem>.<name>.<engine>.journal.jsonl`` (see
+    :mod:`repro.obs.journal`) — replayable via
+    ``python -m repro.evaluation replay`` with byte-identical output.
+    """
+    journal = None
+    if journal_stem is not None:
+        from repro.obs.journal import JournalWriter
+
+        journal = lambda engine: JournalWriter(meta={"fidelity": fidelity})  # noqa: E731
     workload = workload_by_name(name, fidelity)
-    row = run_workload(workload, engines=engines, obs=True, profile=True)
+    row = run_workload(
+        workload, engines=engines, obs=True, profile=True, journal=journal
+    )
+    if journal_stem is not None:
+        for engine, writer in (
+            ("hamr", row.hamr_journal), ("hadoop", row.hadoop_journal)
+        ):
+            if writer is not None:
+                journal_path = f"{journal_stem}.{name}.{engine}.journal.jsonl"
+                writer.save(journal_path)
+                print(f"wrote {journal_path}", file=sys.stderr)
     slow_name, slow_factor = _synthetic_slowdown()
     factor = slow_factor if name == slow_name else 1.0
     entry = {
@@ -246,6 +270,12 @@ def main(argv=None) -> int:
         help="also write the full hostprof snapshots (flat/tree/clock) "
         "to <out-stem>.hostprof.json",
     )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="also write one durable run journal per workload x engine "
+        "to <out-stem>.<workload>.<engine>.journal.jsonl",
+    )
     args = parser.parse_args(argv)
 
     selected = [w for w in args.workloads.split(",") if w] or list(TABLE2_ORDER)
@@ -253,10 +283,16 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown workloads {unknown}; pick from {TABLE2_ORDER}")
 
+    journal_stem = None
+    if args.journal:
+        out_path = pathlib.Path(args.out)
+        journal_stem = str(out_path.parent / out_path.stem)
     rows = {}
     for name in selected:
         print(f"  running {name} ({args.fidelity}, {args.engines}) ...", file=sys.stderr)
-        rows[name] = run_row(name, args.fidelity, args.engines)
+        rows[name] = run_row(
+            name, args.fidelity, args.engines, journal_stem=journal_stem
+        )
     path = pathlib.Path(args.out)
     write_payload(build_payload(rows, args.fidelity), path)
     print(f"wrote {path}")

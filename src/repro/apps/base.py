@@ -39,9 +39,14 @@ class AppEnv:
         hamr_config: Optional[HamrConfig] = None,
         hadoop_config: Optional[HadoopConfig] = None,
         obs: bool = False,
+        journal=None,
+        trace_max_records: Optional[int] = None,
     ):
         self.spec = spec if spec is not None else small_cluster_spec()
-        self.cluster = Cluster(self.spec, obs=obs)
+        self.cluster = Cluster(
+            self.spec, obs=obs, journal=journal,
+            trace_max_records=trace_max_records,
+        )
         self.dfs = DFS(self.cluster)
         self.localfs = LocalFS(self.cluster)
         self.kvstore = KVStore(self.cluster)

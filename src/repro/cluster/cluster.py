@@ -34,11 +34,15 @@ class Cluster:
         trace: bool = True,
         obs: bool = False,
         trace_max_records: int | None = None,
+        journal=None,
     ):
         self.spec = spec
         self.sim = sim if sim is not None else Simulator()
         self.trace = Trace(self.sim, enabled=trace, max_records=trace_max_records)
-        self.obs = Tracer(self.sim, enabled=obs)
+        # The journal attaches at tracer construction: _wire_telemetry
+        # below captures metric handles in closures, and those creations
+        # must already be journaled.
+        self.obs = Tracer(self.sim, enabled=obs, journal=journal)
         self.nodes = [
             Node(
                 self.sim, node_id, spec.spec_for(node_id), spec.cost,

@@ -21,9 +21,25 @@ Usage::
                                       [--json prof.json] [--chrome trace.json]
     python -m repro.evaluation calibrate [--workload wordcount|all] [--engine both]
                                       [--json cal.json]
+    python -m repro.evaluation journal [--workload wordcount|all] [--engine both]
+                                      [--out run]        # run.<wl>.<engine>.journal.jsonl
+    python -m repro.evaluation replay run.wordcount.hamr.journal.jsonl
+                                      [--view report|timeline|critpath]
+                                      [--bins 60] [--json out.json] [--chrome t.json]
+    python -m repro.evaluation explain A B   # journal files or workload:engine specs
+                                      [--fidelity small] [--json delta.json]
 
 Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
 (the human-readable report then goes nowhere — stdout carries only JSON).
+
+``journal`` writes one durable JSONL run journal per workload × engine;
+``replay`` reconstructs the live run's report/timeline/critical-path
+output **byte-identically** from a journal alone (no re-execution), and
+``explain`` aligns two runs and attributes their makespan delta to blame
+buckets, operators and nodes along the differential critical path. With
+``REPRO_OBS_SLOWDOWN=<bucket>=<factor>`` set, ``journal`` additionally
+dilates the written journals into a seeded synthetic regression (the
+``explain`` self-test in CI).
 """
 
 from __future__ import annotations
@@ -48,14 +64,18 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
             "report", "timeline", "diff", "profile", "calibrate",
+            "journal", "replay", "explain",
         ],
     )
     parser.add_argument(
         "name", nargs="?",
-        help="benchmark name for `bench`; baseline artifact A for `diff`",
+        help="benchmark name for `bench`; baseline artifact A for `diff`; "
+        "journal path for `replay`; run A (journal path or workload:engine) "
+        "for `explain`",
     )
     parser.add_argument(
-        "name2", nargs="?", help="candidate artifact B for `diff`"
+        "name2", nargs="?",
+        help="candidate artifact B for `diff`; run B for `explain`",
     )
     parser.add_argument(
         "--fidelity",
@@ -104,9 +124,39 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="`diff`: exit non-zero when any workload drifts beyond tolerance",
     )
+    parser.add_argument(
+        "--out",
+        default="run",
+        metavar="PREFIX",
+        help="`journal`: output prefix — writes PREFIX.<workload>.<engine>"
+        ".journal.jsonl (a PREFIX ending in .jsonl with a single workload "
+        "and engine is used as the exact path)",
+    )
+    parser.add_argument(
+        "--view",
+        default="report",
+        choices=["report", "timeline", "critpath"],
+        help="`replay`: which derived view to reconstruct (default report)",
+    )
+    parser.add_argument(
+        "--trace-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the sim-trace ring buffer for `report`/`timeline`/"
+        "`journal` (oldest records are evicted past N; evictions are "
+        "surfaced as a WARNING and counted in journal footers)",
+    )
     args = parser.parse_args(argv)
 
-    if args.artifact in ("report", "timeline", "profile", "calibrate"):
+    if args.trace_max_records is not None and args.trace_max_records <= 0:
+        print(
+            f"error: --trace-max-records must be positive "
+            f"(got {args.trace_max_records})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.artifact in ("report", "timeline", "profile", "calibrate", "journal"):
         if args.workload not in list(TABLE2_ORDER) + ["all"]:
             print(
                 f"error: unknown workload {args.workload!r} "
@@ -135,6 +185,18 @@ def main(argv: list[str] | None = None) -> int:
         if not args.name or not args.name2:
             parser.error("diff requires two artifact paths: A.json B.json")
         return _diff(args)
+    if args.artifact == "journal":
+        return _journal(args)
+    if args.artifact == "replay":
+        if not args.name:
+            parser.error("replay requires a journal path")
+        return _replay(args)
+    if args.artifact == "explain":
+        if not args.name or not args.name2:
+            parser.error(
+                "explain requires two runs: journal paths or workload:engine specs"
+            )
+        return _explain(args)
 
     if args.artifact == "table1":
         print(table1())
@@ -218,6 +280,229 @@ def _diff(args) -> int:
     return 0
 
 
+def _warn_dropped(dropped: int, context: str) -> None:
+    """Surface sim-trace ring-buffer evictions (satellite of the journal
+    work: silently truncated traces must never read as complete)."""
+    if dropped:
+        print(
+            f"WARNING: {dropped} trace records dropped ({context}; "
+            "raise --trace-max-records to keep them)",
+            file=sys.stderr,
+        )
+
+
+def _journal_path(out: str, workloads: list[str], engines: list[str],
+                  workload: str, engine: str) -> str:
+    """Output path for one run's journal under the --out prefix."""
+    if out.endswith(".jsonl") and len(workloads) == 1 and len(engines) == 1:
+        return out
+    stem = out
+    if stem.endswith(".jsonl"):
+        stem = stem[: -len(".jsonl")]
+    if stem.endswith(".journal"):
+        stem = stem[: -len(".journal")]
+    return f"{stem}.{workload}.{engine}.journal.jsonl"
+
+
+def _journal(args) -> int:
+    """Run workload(s) with journaling on; write one JSONL file per run."""
+    from repro.obs.journal import (
+        JournalWriter,
+        bucket_slowdown_from_env,
+        encode_record,
+        seed_bucket_slowdown,
+    )
+
+    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    engines = ["hamr", "hadoop"] if args.engine == "both" else [args.engine]
+    seeded = bucket_slowdown_from_env()
+    for name in workloads:
+        if len(workloads) > 1:
+            print(f"  running {name} ...", file=sys.stderr, flush=True)
+        row = run_workload(
+            workload_by_name(name, args.fidelity),
+            engines=args.engine,
+            journal=lambda engine: JournalWriter(meta={"fidelity": args.fidelity}),
+            trace_max_records=args.trace_max_records,
+        )
+        for engine in engines:
+            writer = row.hamr_journal if engine == "hamr" else row.hadoop_journal
+            dropped = (
+                row.hamr_trace_dropped if engine == "hamr"
+                else row.hadoop_trace_dropped
+            )
+            _warn_dropped(dropped, f"{name} on {engine}")
+            path = _journal_path(args.out, workloads, engines, name, engine)
+            if seeded is not None:
+                bucket, factor = seeded
+                records = seed_bucket_slowdown(writer.records, bucket, factor)
+                with open(path, "w") as fh:
+                    for record in records:
+                        fh.write(encode_record(record) + "\n")
+                print(
+                    f"wrote {path} ({len(records) - 2} events, seeded "
+                    f"{bucket}x{factor:g} slowdown)",
+                    file=sys.stderr,
+                )
+            else:
+                writer.save(path)
+                print(f"wrote {path} ({writer.events} events)", file=sys.stderr)
+    return 0
+
+
+def _replay(args) -> int:
+    """Reconstruct report/timeline/critpath output from a journal alone."""
+    from repro.obs.journal import JournalError
+    from repro.obs.replay import replay_file
+
+    try:
+        run = replay_file(args.name)
+    except (OSError, JournalError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _warn_dropped(run.trace_dropped, f"recorded in {args.name}")
+    tracer = run.tracer
+    if args.view == "report":
+        from repro.evaluation.obsreport import (
+            REPORT_SCHEMA,
+            render_report,
+            report_dict,
+        )
+
+        if args.json != "-":
+            print(render_report(tracer, title=run.title()))
+            print()
+        if args.json:
+            payload = {
+                "schema": REPORT_SCHEMA,
+                "workload": run.workload,
+                "engines": {
+                    run.engine: report_dict(tracer, run.workload, run.engine)
+                },
+            }
+            _emit_json(args.json, payload)
+    elif args.view == "timeline":
+        from repro.evaluation.telemetryreport import (
+            TIMELINE_SCHEMA,
+            render_telemetry,
+            telemetry_dict,
+        )
+
+        if args.json != "-":
+            print(render_telemetry(tracer, title=run.title(), bins=args.bins))
+            print()
+        if args.json:
+            payload = {
+                "schema": TIMELINE_SCHEMA,
+                "fidelity": run.fidelity,
+                "workloads": {
+                    run.workload: {
+                        run.engine: telemetry_dict(
+                            tracer, run.workload, run.engine, bins=args.bins
+                        )
+                    }
+                },
+            }
+            _emit_json(args.json, payload)
+    else:  # critpath
+        from repro.obs.critpath import from_tracer, render_critpath
+
+        cp = from_tracer(tracer)
+        if args.json != "-":
+            print(
+                render_critpath(
+                    cp,
+                    title=f"Critical path — {run.label} "
+                    f"({run.data_size}) on {run.engine}",
+                )
+            )
+        if args.json:
+            _emit_json(args.json, cp.to_dict())
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(tracer.to_chrome_trace(), fh, sort_keys=True)
+        print(
+            f"wrote {args.chrome} ({run.workload} on {run.engine}, replayed)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _explain_side(ref: str, args):
+    """Build one explain side from a journal path or a workload:engine spec.
+
+    Returns an :class:`~repro.obs.explain.ExplainSide`, or an int exit
+    code on a bad reference.
+    """
+    import os
+
+    from repro.obs.explain import side_from_tracer
+    from repro.obs.journal import JournalError
+
+    if os.path.exists(ref) or ref.endswith(".jsonl"):
+        from repro.obs.replay import replay_file
+
+        try:
+            run = replay_file(ref)
+        except (OSError, JournalError) as exc:
+            print(f"error: {ref}: {exc}", file=sys.stderr)
+            return 2
+        _warn_dropped(run.trace_dropped, f"recorded in {ref}")
+        meta = {
+            k: v
+            for k, v in (
+                ("workload", run.workload),
+                ("engine", run.engine),
+                ("fidelity", run.fidelity),
+                ("seeded_slowdown", run.footer.get("seeded_slowdown")),
+            )
+            if v is not None
+        }
+        return side_from_tracer(run.tracer, ref, meta=meta)
+    workload, sep, engine = ref.partition(":")
+    if not sep or workload not in TABLE2_ORDER or engine not in ("hamr", "hadoop"):
+        print(
+            f"error: {ref!r} is neither a journal file nor a "
+            "<workload>:<engine> spec "
+            f"(workloads: {', '.join(TABLE2_ORDER)}; engines: hamr, hadoop)",
+            file=sys.stderr,
+        )
+        return 2
+    row = run_workload(
+        workload_by_name(workload, args.fidelity),
+        engines=engine,
+        obs=True,
+        trace_max_records=args.trace_max_records,
+    )
+    tracer = row.hamr_obs if engine == "hamr" else row.hadoop_obs
+    dropped = (
+        row.hamr_trace_dropped if engine == "hamr" else row.hadoop_trace_dropped
+    )
+    _warn_dropped(dropped, ref)
+    return side_from_tracer(
+        tracer, ref,
+        meta={"workload": workload, "engine": engine, "fidelity": args.fidelity},
+    )
+
+
+def _explain(args) -> int:
+    """Differential root-cause attribution between two runs."""
+    from repro.obs.explain import explain, render_explain
+
+    side_a = _explain_side(args.name, args)
+    if isinstance(side_a, int):
+        return side_a
+    side_b = _explain_side(args.name2, args)
+    if isinstance(side_b, int):
+        return side_b
+    result = explain(side_a, side_b)
+    if args.json != "-":
+        print(render_explain(result))
+    if args.json:
+        _emit_json(args.json, result.to_dict())
+    return 0
+
+
 def _timeline(args) -> int:
     """Run traced workload(s) and print/export the telemetry report."""
     from repro.evaluation.telemetryreport import (
@@ -233,7 +518,8 @@ def _timeline(args) -> int:
         if len(workloads) > 1:
             print(f"  running {name} ...", file=sys.stderr, flush=True)
         row = run_workload(
-            workload_by_name(name, args.fidelity), engines=args.engine, obs=True
+            workload_by_name(name, args.fidelity), engines=args.engine, obs=True,
+            trace_max_records=args.trace_max_records,
         )
         traced = [
             (engine, tracer)
@@ -247,6 +533,8 @@ def _timeline(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        _warn_dropped(row.hamr_trace_dropped, f"{name} on hamr")
+        _warn_dropped(row.hadoop_trace_dropped, f"{name} on hadoop")
         for engine, tracer in traced:
             makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
             if args.json != "-":
@@ -284,7 +572,8 @@ def _report(args) -> int:
     from repro.evaluation.obsreport import REPORT_SCHEMA, render_report, report_dict
 
     row = run_workload(
-        workload_by_name(args.workload, args.fidelity), engines=args.engine, obs=True
+        workload_by_name(args.workload, args.fidelity), engines=args.engine,
+        obs=True, trace_max_records=args.trace_max_records,
     )
     traced = [
         (engine, tracer)
@@ -298,6 +587,8 @@ def _report(args) -> int:
             file=sys.stderr,
         )
         return 2
+    _warn_dropped(row.hamr_trace_dropped, f"{args.workload} on hamr")
+    _warn_dropped(row.hadoop_trace_dropped, f"{args.workload} on hadoop")
     for engine, tracer in traced:
         makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
         if args.json != "-":

@@ -37,6 +37,13 @@ class BenchmarkRow:
     #: unless ``profile=True``) — host ns per bucket/operator, clock track
     hamr_hostprof: Optional[dict] = field(default=None, repr=False)
     hadoop_hostprof: Optional[dict] = field(default=None, repr=False)
+    #: sim-trace ring-buffer evictions per engine run (0 = nothing lost)
+    hamr_trace_dropped: int = 0
+    hadoop_trace_dropped: int = 0
+    #: run journals (repro.obs.journal JournalWriters; None unless a
+    #: journal factory was passed to run_workload)
+    hamr_journal: Optional[object] = field(default=None, repr=False)
+    hadoop_journal: Optional[object] = field(default=None, repr=False)
 
     @property
     def speedup(self) -> float:
@@ -60,6 +67,8 @@ def run_workload(
     engines: str = "both",
     obs: bool = False,
     profile: bool = False,
+    journal=None,
+    trace_max_records: Optional[int] = None,
 ) -> BenchmarkRow:
     """Run a workload on fresh environments and assemble its row.
 
@@ -71,7 +80,26 @@ def run_workload(
     sim kernel and activated globally for dataplane/storage hooks) and
     the row carries the snapshots — the virtual results are byte-identical
     either way.
+
+    ``journal`` is a factory ``engine_name -> JournalWriter`` (or a bool;
+    True creates in-memory writers). Each engine run gets its own writer
+    with a header written before the cluster is built (telemetry wiring
+    already emits events) and a footer carrying the run's makespan,
+    virtual end time and the sim-trace drop counter. Journaling implies
+    ``obs=True``. ``trace_max_records`` bounds the sim trace's ring
+    buffer (see :class:`repro.sim.Trace`).
     """
+    if journal is not None and journal is not False:
+        obs = True
+
+    def _writer_for(engine: str):
+        if journal is None or journal is False:
+            return None
+        if callable(journal):
+            return journal(engine)
+        from repro.obs.journal import JournalWriter
+
+        return JournalWriter()
 
     def _run(runner, env):
         prof = None
@@ -89,18 +117,48 @@ def run_workload(
         wall = time.perf_counter() - t0
         return result, wall, (prof.snapshot() if prof is not None else None)
 
+    def _engine_run(runner, engine: str):
+        writer = _writer_for(engine)
+        if writer is not None:
+            writer.write_header(
+                workload=workload.name,
+                label=workload.label,
+                data_size=workload.data_size,
+                engine=engine,
+            )
+        env = workload.fresh_env(
+            obs=obs, journal=writer, trace_max_records=trace_max_records
+        )
+        result, wall, prof = _run(runner, env)
+        if writer is not None:
+            trace = env.cluster.trace.summary()
+            writer.write_footer(
+                makespan=result.makespan,
+                virtual_end=env.cluster.sim.now,
+                trace_records=trace["records"],
+                trace_dropped=trace["dropped"],
+                trace_max_records=trace["max_records"],
+            )
+        return env, result, wall, prof, writer
+
     hamr_result = hadoop_result = None
     hamr_obs = hadoop_obs = None
     hamr_wall = hadoop_wall = 0.0
     hamr_prof = hadoop_prof = None
+    hamr_dropped = hadoop_dropped = 0
+    hamr_writer = hadoop_writer = None
     if engines in ("both", "hamr"):
-        env = workload.fresh_env(obs=obs)
-        hamr_result, hamr_wall, hamr_prof = _run(workload.run_hamr, env)
+        env, hamr_result, hamr_wall, hamr_prof, hamr_writer = _engine_run(
+            workload.run_hamr, "hamr"
+        )
         hamr_obs = env.obs if obs else None
+        hamr_dropped = env.cluster.trace.dropped
     if engines in ("both", "hadoop"):
-        env = workload.fresh_env(obs=obs)
-        hadoop_result, hadoop_wall, hadoop_prof = _run(workload.run_hadoop, env)
+        env, hadoop_result, hadoop_wall, hadoop_prof, hadoop_writer = _engine_run(
+            workload.run_hadoop, "hadoop"
+        )
         hadoop_obs = env.obs if obs else None
+        hadoop_dropped = env.cluster.trace.dropped
     return BenchmarkRow(
         name=workload.name,
         label=workload.label,
@@ -116,4 +174,8 @@ def run_workload(
         hadoop_wall_seconds=hadoop_wall,
         hamr_hostprof=hamr_prof,
         hadoop_hostprof=hadoop_prof,
+        hamr_trace_dropped=hamr_dropped,
+        hadoop_trace_dropped=hadoop_dropped,
+        hamr_journal=hamr_writer,
+        hadoop_journal=hadoop_writer,
     )

@@ -51,8 +51,13 @@ class Workload:
         """The paper's 16-node cluster with this workload's scale factor."""
         return paper_cluster_spec(scale=self.scale)
 
-    def fresh_env(self, obs: bool = False) -> AppEnv:
-        return AppEnv(self.spec(), obs=obs)
+    def fresh_env(
+        self, obs: bool = False, journal=None, trace_max_records=None
+    ) -> AppEnv:
+        return AppEnv(
+            self.spec(), obs=obs, journal=journal,
+            trace_max_records=trace_max_records,
+        )
 
 
 def _finish(workload: Workload) -> Workload:

@@ -41,6 +41,25 @@ from repro.obs.hostprof import (
     HOSTPROF_SCHEMA,
     HostProfiler,
 )
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalWriter,
+    bucket_slowdown_from_env,
+    load_journal,
+    read_journal,
+    seed_bucket_slowdown,
+)
+from repro.obs.replay import ReplayedRun, replay_file, replay_lines, replay_records
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    ExplainResult,
+    ExplainSide,
+    explain,
+    render_explain,
+    side_from_critpath,
+    side_from_tracer,
+)
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
     SkewReport,
@@ -82,6 +101,24 @@ __all__ = [
     "HOSTPROF_SCHEMA",
     "HOST_BUCKETS",
     "HostProfiler",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "JournalWriter",
+    "bucket_slowdown_from_env",
+    "load_journal",
+    "read_journal",
+    "seed_bucket_slowdown",
+    "ReplayedRun",
+    "replay_file",
+    "replay_lines",
+    "replay_records",
+    "EXPLAIN_SCHEMA",
+    "ExplainResult",
+    "ExplainSide",
+    "explain",
+    "render_explain",
+    "side_from_critpath",
+    "side_from_tracer",
     "TELEMETRY_SCHEMA",
     "TimelineSampler",
     "TrafficMatrix",

@@ -356,6 +356,12 @@ def render_diff(result: DiffResult, label_a: str = "A", label_b: str = "B") -> s
         "verdict: "
         + ("OK — within tolerance" if result.ok else f"DRIFT in {', '.join(sorted(result.drift))}")
     )
+    if not result.ok:
+        lines.append(
+            "hint: run `python -m repro.evaluation explain <journal-A> <journal-B>` "
+            "on the drifted rows' run journals for per-operator root-cause "
+            "attribution (see `... journal --help`)."
+        )
     return "\n\n".join(lines)
 
 

@@ -1,0 +1,205 @@
+"""Differential explain: root-cause attribution for makespan deltas.
+
+:mod:`repro.obs.diff` tells you *that* a run drifted (the CI gate);
+this module tells you *why*. Given two traced runs — journals replayed
+via :mod:`repro.obs.replay`, or live tracers — it extracts each side's
+weighted critical path (:mod:`repro.obs.critpath`), aligns the two span
+DAGs by normalized operator label, and attributes the makespan delta
+along three dimensions:
+
+* **buckets** — the path rollup (blame buckets + ``wait``/``other``)
+  plus ``tail``, the off-path remainder ``makespan - Σrollup``;
+* **operators** — on-path seconds per :func:`normalize_label`'d span
+  name (``hamr.map12`` and ``hamr.map3`` align as ``hamr.map*``), so a
+  regression localizes to the operator kind that slowed down;
+* **nodes** — on-path seconds per executing node, exposing skew and
+  placement shifts.
+
+Each dimension ranks its keys by absolute contribution to the makespan
+delta; the top-ranked bucket/operator/node is the differential's root
+cause candidate. Summing a dimension's deltas recovers the makespan
+delta up to scheduling overlap (the critical path is a lower bound on
+explained time), so shares are quoted against the makespan delta, not
+forced to 100%.
+
+Everything is deterministic: identical journals produce identical
+explains, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.critpath import ROLLUP_KEYS, CriticalPath, from_tracer
+from repro.obs.hostprof import normalize_label
+from repro.obs.spans import Tracer
+
+EXPLAIN_SCHEMA = "repro.obs.explain/v1"
+
+#: synthetic bucket for makespan time the path rollup does not cover
+TAIL = "tail"
+
+
+@dataclass
+class ExplainSide:
+    """One run's attribution profiles, extracted from its critical path."""
+
+    name: str  # display label, e.g. a journal path or "wordcount:hamr"
+    makespan: float
+    buckets: dict[str, float] = field(default_factory=dict)
+    operators: dict[str, float] = field(default_factory=dict)
+    nodes: dict[str, float] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)  # workload/engine/... if known
+
+    @property
+    def profiles(self) -> dict[str, dict[str, float]]:
+        return {
+            "buckets": self.buckets,
+            "operators": self.operators,
+            "nodes": self.nodes,
+        }
+
+
+def side_from_critpath(
+    cp: CriticalPath, name: str, meta: Optional[dict] = None
+) -> ExplainSide:
+    """Project a critical path into the three attribution profiles."""
+    buckets = {key: cp.rollup.get(key, 0.0) for key in ROLLUP_KEYS}
+    buckets[TAIL] = max(cp.makespan - sum(buckets.values()), 0.0)
+    operators: dict[str, float] = {}
+    nodes: dict[str, float] = {}
+    for seg in cp.segments:
+        op = normalize_label(seg.span.name)
+        operators[op] = operators.get(op, 0.0) + seg.duration
+        node = f"n{seg.span.node}" if seg.span.node is not None else "-"
+        nodes[node] = nodes.get(node, 0.0) + seg.duration
+    return ExplainSide(
+        name=name,
+        makespan=cp.makespan,
+        buckets=buckets,
+        operators=operators,
+        nodes=nodes,
+        meta=dict(meta or {}),
+    )
+
+
+def side_from_tracer(
+    tracer: Tracer, name: str, meta: Optional[dict] = None
+) -> ExplainSide:
+    return side_from_critpath(from_tracer(tracer), name, meta=meta)
+
+
+@dataclass
+class ExplainResult:
+    """The aligned differential: ranked per-dimension delta attribution."""
+
+    a: ExplainSide
+    b: ExplainSide
+    #: dimension -> ranked rows [key, a_seconds, b_seconds, delta, share]
+    rows: dict[str, list[list]] = field(default_factory=dict)
+    #: dimension -> top-ranked key (the root-cause candidate), or None
+    top: dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def makespan_delta(self) -> float:
+        return self.b.makespan - self.a.makespan
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": EXPLAIN_SCHEMA,
+            "a": {"name": self.a.name, "makespan": self.a.makespan, **self.a.meta},
+            "b": {"name": self.b.name, "makespan": self.b.makespan, **self.b.meta},
+            "makespan_delta": self.makespan_delta,
+            "dimensions": {
+                dim: {
+                    "top": self.top.get(dim),
+                    "rows": [
+                        {
+                            "key": key,
+                            "a_seconds": a_sec,
+                            "b_seconds": b_sec,
+                            "delta": delta,
+                            "share": share,
+                        }
+                        for key, a_sec, b_sec, delta, share in rows
+                    ],
+                }
+                for dim, rows in sorted(self.rows.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+def explain(a: ExplainSide, b: ExplainSide) -> ExplainResult:
+    """Align two sides' profiles and rank each dimension's deltas.
+
+    ``share`` is each key's delta over the makespan delta (signed; keys
+    moving against the overall shift get negative shares). With a zero
+    makespan delta shares are reported as 0 — the ranking by absolute
+    delta still localizes composition shifts.
+    """
+    result = ExplainResult(a=a, b=b)
+    mk_delta = result.makespan_delta
+    for dim in ("buckets", "operators", "nodes"):
+        prof_a, prof_b = a.profiles[dim], b.profiles[dim]
+        rows = []
+        for key in sorted(set(prof_a) | set(prof_b)):
+            a_sec = prof_a.get(key, 0.0)
+            b_sec = prof_b.get(key, 0.0)
+            delta = b_sec - a_sec
+            share = delta / mk_delta if mk_delta != 0.0 else 0.0
+            rows.append([key, a_sec, b_sec, delta, share])
+        rows.sort(key=lambda r: (-abs(r[3]), r[0]))
+        result.rows[dim] = rows
+        top = next((r[0] for r in rows if abs(r[3]) > 1e-12), None)
+        result.top[dim] = top
+    return result
+
+
+def render_explain(result: ExplainResult, max_rows: int = 12) -> str:
+    """Deterministic ASCII differential-attribution report."""
+    from repro.evaluation.report import render_table
+
+    a, b = result.a, result.b
+    delta = result.makespan_delta
+    rel = f" ({100.0 * delta / a.makespan:+.2f}%)" if a.makespan > 0 else ""
+    lines = [
+        f"== explain: A={a.name} -> B={b.name} ==\n"
+        f"makespan {a.makespan:.3f}s -> {b.makespan:.3f}s, "
+        f"delta {delta:+.3f}s{rel}",
+    ]
+    titles = {
+        "buckets": "Blame buckets on the differential critical path",
+        "operators": "Operators (normalized span names) on-path",
+        "nodes": "Node placement on-path",
+    }
+    for dim in ("buckets", "operators", "nodes"):
+        rows = result.rows.get(dim, [])
+        shown = [
+            [key, a_sec, b_sec, f"{d:+.3f}", f"{100.0 * share:+.1f}%"]
+            for key, a_sec, b_sec, d, share in rows[:max_rows]
+            if abs(d) > 1e-12 or a_sec > 0.0 or b_sec > 0.0
+        ]
+        top = result.top.get(dim)
+        title = titles[dim] + (f" — top: {top}" if top else " — (no shift)")
+        lines.append(
+            render_table(
+                [dim[:-1], "A seconds", "B seconds", "delta s", "share"],
+                shown,
+                title=title,
+            )
+        )
+    verdict = []
+    for dim in ("buckets", "operators", "nodes"):
+        top = result.top.get(dim)
+        if top is not None:
+            row = result.rows[dim][0]
+            verdict.append(f"{dim[:-1]} {top} ({row[3]:+.3f}s)")
+    lines.append(
+        "root cause candidates: " + ("; ".join(verdict) if verdict else "(none — identical runs)")
+    )
+    return "\n\n".join(lines)

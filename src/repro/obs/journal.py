@@ -1,0 +1,393 @@
+"""Durable run journals: every observability event, as it is emitted.
+
+A :class:`JournalWriter` is attached at :class:`~repro.obs.spans.Tracer`
+construction (``Tracer(sim, enabled=True, journal=writer)``) and records
+one JSON object per line — a span open/close, a causal edge, a blame
+charge, a metric mutation, a telemetry sample, a traffic-matrix charge —
+in exactly the order the live run emitted it. Because the journal stores
+the *primitive mutations* rather than derived aggregates, replaying them
+in order (:mod:`repro.obs.replay`) rebuilds a tracer whose float
+accumulations happen in the same order with the same operands, so the
+``report`` / ``timeline`` / critical-path outputs are **byte-identical**
+to the live run's — with no re-execution.
+
+Design constraints mirror :mod:`repro.obs.hostprof`:
+
+1. **Non-perturbing.** Journal hooks only read already-computed values
+   and append to the journal's own buffers; simulation state is never
+   touched. Virtual outputs are byte-identical with journaling on or off
+   (asserted by the determinism suites).
+2. **Off by default, near-zero when off.** Every hook is guarded by a
+   single ``is None`` check on a ``__slots__`` attribute.
+3. **Append-only, schema-versioned.** The first line is a ``header``
+   record carrying :data:`JOURNAL_SCHEMA`; the last is a ``footer`` with
+   the run's makespan, virtual end time and the sim-trace drop counter.
+   Records in between are never rewritten.
+
+Record types (compact keys keep journals small):
+
+======  =====================================================
+``t``   meaning
+======  =====================================================
+header  schema + run metadata (workload, engine, fidelity...)
+m       metric declared (registry accessor created it)
+c       counter increment
+g       gauge ``set``/``add``
+h       histogram observation
+s       time-series append
+so      span opened
+sc      span closed (carries the final args)
+e       causal span edge
+b       blame charge (job/bucket/seconds/node/span)
+tls     timeline step sample
+tli     timeline interval sample
+tlc     timeline capacity ``set``/``add``
+tm      traffic matrix declared for a job
+x       traffic-matrix charge
+footer  event/span counts, makespan, trace-drop counter
+======  =====================================================
+
+``REPRO_OBS_SLOWDOWN=<bucket>=<factor>`` (with a *blame bucket* on the
+left-hand side, e.g. ``disk=2.0``) turns the ``journal`` CLI verb into a
+seeded-regression generator: :func:`seed_bucket_slowdown` dilates the
+journal's virtual timeline so every span charged to that bucket takes
+``factor``× longer — the synthetic root cause the ``explain`` self-test
+must rank first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterable, Optional, TextIO
+
+from repro.obs.blame import BUCKETS
+
+JOURNAL_SCHEMA = "repro.obs.journal/v1"
+
+#: record types, for validation
+RECORD_TYPES = (
+    "header", "m", "c", "g", "h", "s", "so", "sc", "e", "b",
+    "tls", "tli", "tlc", "tm", "x", "footer",
+)
+
+
+class JournalError(ValueError):
+    """A journal file is malformed, truncated, or schema-incompatible."""
+
+
+def encode_record(record: dict) -> str:
+    """Canonical one-line encoding: compact separators, sorted keys.
+
+    The encoding round-trips exactly (Python ``json`` serializes floats
+    via ``repr`` and parses them back to the same bits), so
+    encode→decode→re-encode is byte-identical — the hypothesis suite
+    asserts this property.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def decode_record(line: str) -> dict:
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise JournalError(f"malformed journal line: {line[:80]!r}") from exc
+    if not isinstance(record, dict) or "t" not in record:
+        raise JournalError(f"journal line is not a typed record: {line[:80]!r}")
+    if record["t"] not in RECORD_TYPES:
+        raise JournalError(f"unknown journal record type {record['t']!r}")
+    return record
+
+
+class JournalWriter:
+    """Appends observability events as JSONL, optionally streaming to a sink.
+
+    Lines are always retained in memory (``lines``) so tests and the
+    seeded-slowdown transform can inspect them; with ``sink`` set each
+    line is additionally written (and flushed at the footer) as it is
+    emitted, which is what makes journals durable across a crash.
+    """
+
+    def __init__(self, sink: Optional[TextIO] = None, meta: Optional[dict] = None):
+        self.sink = sink
+        #: extra header metadata merged by :meth:`write_header` (the CLI
+        #: presets ``fidelity`` here before handing the writer to the runner)
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.lines: list[str] = []
+        self.events = 0
+        self.spans_opened = 0
+        self.spans_closed = 0
+        self._header_written = False
+        self._footer_written = False
+
+    # -- emission -----------------------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        if self._footer_written:
+            raise JournalError("journal footer already written; journal is sealed")
+        line = encode_record(record)
+        self.lines.append(line)
+        self.events += 1
+        t = record.get("t")
+        if t == "so":
+            self.spans_opened += 1
+        elif t == "sc":
+            self.spans_closed += 1
+        if self.sink is not None:
+            self.sink.write(line + "\n")
+
+    def write_header(self, **meta: Any) -> None:
+        if self._header_written:
+            raise JournalError("journal header already written")
+        record = {"t": "header", "schema": JOURNAL_SCHEMA}
+        record.update(self.meta)
+        record.update(meta)
+        self.emit(record)
+        self._header_written = True
+
+    def write_footer(self, **meta: Any) -> None:
+        if not self._header_written:
+            raise JournalError("journal footer before header")
+        record = {
+            "t": "footer",
+            # the footer itself is not counted in `events`
+            "events": self.events,
+            "spans_opened": self.spans_opened,
+            "spans_closed": self.spans_closed,
+        }
+        record.update(meta)
+        self.emit(record)
+        self._footer_written = True
+        self.events -= 1
+        if self.sink is not None:
+            self.sink.flush()
+
+    # -- hook factories (captured in closures by the instrumented primitives) ------
+
+    def metric_hook(self, kind: str, name: str, labelkey: tuple) -> Callable:
+        """The per-metric emit hook installed on a registry primitive.
+
+        ``labelkey`` is the registry's sorted label tuple; it is rendered
+        once into the closure so the hot path only appends.
+        """
+        labels = [[k, v] for k, v in labelkey]
+
+        if kind == "c":
+            def hook(amount: float) -> None:
+                self.emit({"t": "c", "n": name, "l": labels, "v": amount})
+        elif kind == "g":
+            def hook(op: str, value: float) -> None:
+                self.emit({"t": "g", "n": name, "l": labels, "op": op, "v": value})
+        elif kind == "h":
+            def hook(value: float) -> None:
+                self.emit({"t": "h", "n": name, "l": labels, "v": value})
+        elif kind == "s":
+            def hook(time: float, value: float) -> None:
+                self.emit({"t": "s", "n": name, "l": labels, "tm": time, "v": value})
+        else:  # pragma: no cover - registry only knows four kinds
+            raise ValueError(f"unknown metric kind {kind!r}")
+        return hook
+
+    def declare_metric(
+        self, kind: str, name: str, labelkey: tuple,
+        bounds: Optional[tuple] = None,
+    ) -> None:
+        """Record that the registry *created* a metric (even if it is never
+        mutated) — empty metrics still appear in live snapshots, so replay
+        must create them in the same order."""
+        record: dict[str, Any] = {
+            "t": "m", "k": kind, "n": name, "l": [[k, v] for k, v in labelkey],
+        }
+        if bounds is not None:
+            record["b"] = list(bounds)
+        self.emit(record)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def getvalue(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.getvalue())
+
+    @property
+    def records(self) -> list[dict]:
+        return [decode_record(line) for line in self.lines]
+
+
+# -- reading ------------------------------------------------------------------------
+
+
+def read_journal(lines: Iterable[str]) -> list[dict]:
+    """Decode + validate a journal: header first, known schema, footer last."""
+    records = [decode_record(line) for line in lines if line.strip()]
+    if not records:
+        raise JournalError("empty journal")
+    header = records[0]
+    if header.get("t") != "header":
+        raise JournalError("journal does not start with a header record")
+    schema = header.get("schema", "")
+    if schema != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"unsupported journal schema {schema!r} (expected {JOURNAL_SCHEMA})"
+        )
+    if records[-1].get("t") != "footer":
+        raise JournalError("journal has no footer record (truncated run?)")
+    return records
+
+
+def load_journal(path: str) -> list[dict]:
+    with open(path) as fh:
+        return read_journal(fh)
+
+
+# -- seeded synthetic regression -----------------------------------------------------
+
+
+def bucket_slowdown_from_env() -> Optional[tuple[str, float]]:
+    """Parse ``REPRO_OBS_SLOWDOWN=<blame-bucket>=<factor>``.
+
+    Returns None when the variable is unset *or* names something that is
+    not a blame bucket (the workload-name form belongs to
+    ``benchmarks/bench_obs.py`` and must not trigger here).
+    """
+    raw = os.environ.get("REPRO_OBS_SLOWDOWN", "")
+    if not raw:
+        return None
+    bucket, _, factor = raw.partition("=")
+    if bucket not in BUCKETS:
+        return None
+    try:
+        return bucket, float(factor)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_OBS_SLOWDOWN must be 'bucket=factor', got {raw!r}"
+        ) from None
+
+
+def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> list[dict]:
+    """Dilate a journal's virtual timeline: ``bucket`` work takes ``factor``×.
+
+    For every closed span with ``seconds`` charged to ``bucket``, an extra
+    ``(factor - 1) * seconds`` of virtual time is inserted at the span's
+    original end. All timestamps are then remapped through the monotone
+    ``T(t) = t + sum(inserted_i for end_i <= t)`` — order-preserving, so
+    the journal stays causally valid — and the bucket's blame charges are
+    scaled by ``factor`` to match. The footer's ``virtual_end`` and
+    ``makespan`` grow by the total inserted time: exactly the signature a
+    real ``bucket`` regression would leave, which the ``explain``
+    self-test must attribute back to that bucket.
+    """
+    if bucket not in BUCKETS:
+        raise ValueError(f"unknown blame bucket {bucket!r}; pick from {BUCKETS}")
+    if factor <= 0.0:
+        raise ValueError(f"slowdown factor must be positive: {factor}")
+
+    # Pass 1: span intervals, attribution, and per-span bucket charges.
+    starts: dict[int, float] = {}
+    ends: dict[int, float] = {}
+    jobs: dict[int, str] = {}
+    nodes: dict[int, int] = {}
+    charged: dict[int, float] = {}
+    for rec in records:
+        if rec["t"] == "so":
+            starts[rec["id"]] = rec["st"]
+            if "j" in rec:
+                jobs[rec["id"]] = rec["j"]
+            if "nd" in rec:
+                nodes[rec["id"]] = rec["nd"]
+        elif rec["t"] == "sc":
+            ends[rec["id"]] = rec["end"]
+        elif rec["t"] == "b" and rec["bk"] == bucket and rec.get("sp") is not None:
+            charged[rec["sp"]] = charged.get(rec["sp"], 0.0) + rec["v"]
+
+    # Insertion points: (end_time, extra_seconds), merged per end time.
+    inserted: dict[float, float] = {}
+    own_extra: dict[int, float] = {}
+    for span_id, seconds in charged.items():
+        end = ends.get(span_id)
+        if end is None or seconds <= 0.0:
+            continue
+        extra = (factor - 1.0) * seconds
+        own_extra[span_id] = extra
+        inserted[end] = inserted.get(end, 0.0) + extra
+    points = sorted(inserted.items())
+
+    def remap(t: float) -> float:
+        shift = 0.0
+        for end, extra in points:
+            if end <= t:
+                shift += extra
+            else:
+                break
+        return t + shift
+
+    # A span *straddling* another span's insertion point absorbs that
+    # pause: its dilated duration grows beyond its own scaled charge. A
+    # real bucket slowdown would charge that absorbed waiting to the
+    # bucket too (the span was gated on the slowed resource), so emit a
+    # compensating charge per straddling span — the critical-path rollup
+    # then attributes the whole dilation to the seeded bucket instead of
+    # leaking it into "other".
+    residual: dict[int, float] = {}
+    for span_id, start in starts.items():
+        end = ends.get(span_id)
+        if end is None:
+            continue
+        growth = (remap(end) - remap(start)) - (end - start)
+        extra = growth - own_extra.get(span_id, 0.0)
+        if extra > 1e-12 and span_id in jobs:
+            residual[span_id] = extra
+
+    out: list[dict] = []
+    new_starts: dict[int, float] = {}
+    new_ends: dict[int, float] = {}
+    added = 0
+    last_closed: Optional[int] = None
+    for rec in records:
+        rec = dict(rec)
+        t = rec["t"]
+        if t == "so":
+            rec["st"] = new_starts[rec["id"]] = remap(rec["st"])
+        elif t == "sc":
+            rec["end"] = new_ends[rec["id"]] = remap(rec["end"])
+            last_closed = rec["id"]
+        elif t == "b":
+            if rec["bk"] == bucket:
+                rec["v"] = rec["v"] * factor
+        elif t == "h":
+            # The span.seconds observation emitted by _span_finished
+            # immediately follows its "sc" record; keep it consistent
+            # with the dilated span interval.
+            if rec["n"] == "span.seconds" and last_closed is not None:
+                sid = last_closed
+                if sid in new_starts and sid in new_ends:
+                    rec["v"] = new_ends[sid] - new_starts[sid]
+        elif t == "s":
+            rec["tm"] = remap(rec["tm"])
+        elif t == "tls":
+            rec["tm"] = remap(rec["tm"])
+        elif t == "tli":
+            rec["t0"] = remap(rec["t0"])
+            rec["t1"] = remap(rec["t1"])
+        elif t == "footer":
+            if "virtual_end" in rec:
+                rec["virtual_end"] = remap(rec["virtual_end"])
+            if "makespan" in rec:
+                rec["makespan"] = remap(rec["makespan"])
+            if "events" in rec:
+                rec["events"] = rec["events"] + added
+            rec["seeded_slowdown"] = {"bucket": bucket, "factor": factor}
+        out.append(rec)
+        if t == "sc" and rec["id"] in residual:
+            sid = rec["id"]
+            charge: dict = {
+                "t": "b", "j": jobs[sid], "bk": bucket, "v": residual[sid],
+                "sp": sid,
+            }
+            if sid in nodes:
+                charge["nd"] = nodes[sid]
+            out.append(charge)
+            added += 1
+    return out

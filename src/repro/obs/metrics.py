@@ -20,17 +20,25 @@ LabelKey = Tuple[Tuple[str, Any], ...]
 
 
 class Counter:
-    """A monotonically increasing count (events, bytes, records)."""
+    """A monotonically increasing count (events, bytes, records).
 
-    __slots__ = ("value",)
+    ``_j`` is the optional journal emit hook (None unless the registry was
+    built with a :class:`~repro.obs.journal.JournalWriter`); when set,
+    every state change is recorded as it happens.
+    """
+
+    __slots__ = ("value", "_j")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._j = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be non-negative: {amount}")
         self.value += amount
+        if self._j is not None:
+            self._j(amount)
 
     def snapshot(self) -> float:
         return self.value
@@ -39,16 +47,21 @@ class Counter:
 class Gauge:
     """A value that goes up and down (queue depth, resident bytes)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_j")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._j = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self._j is not None:
+            self._j("set", value)
 
     def add(self, delta: float) -> None:
         self.value += delta
+        if self._j is not None:
+            self._j("add", delta)
 
     def snapshot(self) -> float:
         return self.value
@@ -66,7 +79,7 @@ class Histogram:
     percentile summaries (p50/p95/p99) are exact, not bucket-interpolated.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total", "values")
+    __slots__ = ("bounds", "counts", "count", "total", "values", "_j")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
         self.bounds = tuple(sorted(bounds))
@@ -76,12 +89,15 @@ class Histogram:
         self.count = 0
         self.total = 0.0
         self.values: list[float] = []
+        self._j = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_right(self.bounds, value)] += 1
         self.count += 1
         self.total += value
         self.values.append(value)
+        if self._j is not None:
+            self._j(value)
 
     @property
     def mean(self) -> float:
@@ -115,12 +131,15 @@ class Histogram:
 class TimeSeries:
     """(virtual time, value) samples, e.g. a node's busy-thread count."""
 
-    __slots__ = ("points",)
+    __slots__ = ("points", "_j")
 
     def __init__(self) -> None:
         self.points: list[tuple[float, float]] = []
+        self._j = None
 
     def append(self, time: float, value: float) -> None:
+        if self._j is not None:
+            self._j(time, value)
         # Collapse same-instant updates: keep the latest value per time.
         if self.points and self.points[-1][0] == time:
             self.points[-1] = (time, value)
@@ -144,23 +163,43 @@ class MetricsRegistry:
     """A flat namespace of labelled metrics.
 
     Accessors create on first use, so reporting sites never pre-register.
+    With a ``journal`` attached, each creation is declared and each
+    metric object gets a per-metric emit hook — call sites that captured
+    the object in a closure still journal every mutation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, journal=None) -> None:
         self._counters: dict[str, dict[LabelKey, Counter]] = {}
         self._gauges: dict[str, dict[LabelKey, Gauge]] = {}
         self._histograms: dict[str, dict[LabelKey, Histogram]] = {}
         self._series: dict[str, dict[LabelKey, TimeSeries]] = {}
+        self._journal = journal
 
     @staticmethod
     def _key(labels: dict) -> LabelKey:
         return tuple(sorted(labels.items()))
 
     def counter(self, name: str, **labels: Any) -> Counter:
-        return self._counters.setdefault(name, {}).setdefault(self._key(labels), Counter())
+        family = self._counters.setdefault(name, {})
+        key = self._key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Counter()
+            if self._journal is not None:
+                self._journal.declare_metric("c", name, key)
+                metric._j = self._journal.metric_hook("c", name, key)
+        return metric
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
-        return self._gauges.setdefault(name, {}).setdefault(self._key(labels), Gauge())
+        family = self._gauges.setdefault(name, {})
+        key = self._key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = Gauge()
+            if self._journal is not None:
+                self._journal.declare_metric("g", name, key)
+                metric._j = self._journal.metric_hook("g", name, key)
+        return metric
 
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None, **labels: Any
@@ -170,10 +209,24 @@ class MetricsRegistry:
         metric = family.get(key)
         if metric is None:
             metric = family[key] = Histogram(bounds or DEFAULT_BOUNDS)
+            if self._journal is not None:
+                self._journal.declare_metric(
+                    "h", name, key,
+                    bounds=None if metric.bounds == DEFAULT_BOUNDS else metric.bounds,
+                )
+                metric._j = self._journal.metric_hook("h", name, key)
         return metric
 
     def series(self, name: str, **labels: Any) -> TimeSeries:
-        return self._series.setdefault(name, {}).setdefault(self._key(labels), TimeSeries())
+        family = self._series.setdefault(name, {})
+        key = self._key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = TimeSeries()
+            if self._journal is not None:
+                self._journal.declare_metric("s", name, key)
+                metric._j = self._journal.metric_hook("s", name, key)
+        return metric
 
     # -- aggregation -----------------------------------------------------------
 

@@ -188,17 +188,27 @@ class Tracer:
     One tracer per cluster; both engines and the substrate report into it.
     ``enabled=False`` (the default) turns every recording call into an
     immediate no-op.
+
+    ``journal`` (a :class:`~repro.obs.journal.JournalWriter`) records
+    every event — span open/close, edge, charge, metric mutation,
+    telemetry sample, traffic charge — as it is emitted, in order, so
+    :mod:`repro.obs.replay` can rebuild this tracer byte-identically.
+    It must be attached here, at construction, because cluster wiring
+    captures metric handles in closures immediately afterwards.
     """
 
-    def __init__(self, sim: "Simulator", enabled: bool = False):
+    def __init__(self, sim: "Simulator", enabled: bool = False, journal=None):
+        if journal is not None and not enabled:
+            raise ValueError("a journal requires an enabled tracer")
         self.sim = sim
         self.enabled = enabled
+        self.journal = journal
         self.spans: list[Span] = []
         self.edges: list[SpanEdge] = []
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(journal=journal)
         self.blame = BlameLedger()
         #: per-node resource timelines (counter tracks over virtual time)
-        self.timeline = TimelineSampler(sim, enabled)
+        self.timeline = TimelineSampler(sim, enabled, journal=journal)
         #: per-job N×N exchange traffic matrices
         self._traffic: dict[str, TrafficMatrix] = {}
         self._next_id = 0
@@ -233,6 +243,22 @@ class Tracer:
             args=args or None,
         )
         self.spans.append(span)
+        if self.journal is not None:
+            record = {
+                "t": "so", "id": span.span_id, "n": name, "c": cat,
+                "st": span.start,
+            }
+            if node is not None:
+                record["nd"] = node
+            if job is not None:
+                record["j"] = job
+            if flowlet is not None:
+                record["f"] = flowlet
+            if span.parent_id is not None:
+                record["p"] = span.parent_id
+            if args:
+                record["a"] = args
+            self.journal.emit(record)
         return span
 
     def finished_spans(self, cat: Optional[str] = None) -> list[Span]:
@@ -243,6 +269,14 @@ class Tracer:
 
     def _span_finished(self, span: Span) -> None:
         """Bookkeeping hook at span close: per-category duration histogram."""
+        if self.journal is not None:
+            # The close record carries the *final* args dict, so mutations
+            # between open and finish are captured; the histogram observe
+            # below journals itself via the metric hook.
+            record: dict = {"t": "sc", "id": span.span_id, "end": span.end}
+            if span.args:
+                record["a"] = span.args
+            self.journal.emit(record)
         self.metrics.histogram("span.seconds", cat=span.cat).observe(span.duration)
 
     # -- causal edges ------------------------------------------------------------
@@ -262,6 +296,8 @@ class Tracer:
             return
         if kind not in EDGE_KINDS:
             raise ValueError(f"unknown edge kind {kind!r}; pick from {EDGE_KINDS}")
+        if self.journal is not None:
+            self.journal.emit({"t": "e", "s": src_id, "d": dst_id, "k": kind})
         self.edges.append(SpanEdge(src_id, dst_id, kind))
 
     # -- blame -----------------------------------------------------------------
@@ -282,6 +318,16 @@ class Tracer:
         if not self.enabled:
             return
         self.blame.charge(job, bucket, seconds, node=node)
+        if self.journal is not None and seconds > 0.0:
+            # Zero charges are state no-ops (the ledger drops them), so
+            # only state-changing charges are journaled; validation above
+            # keeps invalid charges out of the journal.
+            record: dict = {"t": "b", "j": job, "bk": bucket, "v": seconds}
+            if node is not None:
+                record["nd"] = node
+            if isinstance(span, Span):
+                record["sp"] = span.span_id
+            self.journal.emit(record)
         if isinstance(span, Span) and seconds > 0.0:
             span.charges[bucket] = span.charges.get(bucket, 0.0) + seconds
 
@@ -291,7 +337,12 @@ class Tracer:
         """The (get-or-create) exchange traffic matrix for one job."""
         matrix = self._traffic.get(job)
         if matrix is None:
-            matrix = self._traffic[job] = TrafficMatrix(job)
+            if self.journal is not None:
+                # Declare creation: a matrix that is never charged still
+                # appears (empty) in live exports, so replay must create
+                # it at the same point.
+                self.journal.emit({"t": "tm", "j": job})
+            matrix = self._traffic[job] = TrafficMatrix(job, journal=self.journal)
         return matrix
 
     def traffic_matrices(self) -> list[TrafficMatrix]:

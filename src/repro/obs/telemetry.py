@@ -100,9 +100,11 @@ class TimelineSampler:
     time bins for heatmaps and byte-deterministic JSON export.
     """
 
-    def __init__(self, sim: "Simulator", enabled: bool = False):
+    def __init__(self, sim: "Simulator", enabled: bool = False, journal=None):
         self.sim = sim
         self.enabled = enabled
+        #: optional journal writer: every sample is recorded as emitted
+        self._journal = journal
         #: (track, node) -> [(time, level)] — collapsed per instant
         self._steps: dict[tuple[str, int], list[tuple[float, float]]] = {}
         #: (track, node) -> [(start, finish, weight)]
@@ -117,6 +119,10 @@ class TimelineSampler:
     def record_step(self, track: str, node: int, time: float, value: float) -> None:
         if not self.enabled:
             return
+        if self._journal is not None:
+            self._journal.emit(
+                {"t": "tls", "tr": track, "nd": node, "tm": time, "v": value}
+            )
         samples = self._steps.setdefault((track, node), [])
         if samples and samples[-1][0] == time:
             samples[-1] = (time, value)
@@ -128,12 +134,25 @@ class TimelineSampler:
     ) -> None:
         if not self.enabled:
             return
+        if self._journal is not None:
+            self._journal.emit(
+                {"t": "tli", "tr": track, "nd": node, "t0": start, "t1": finish,
+                 "w": weight}
+            )
         self._intervals.setdefault((track, node), []).append((start, finish, weight))
 
     def set_capacity(self, track: str, node: int, capacity: float) -> None:
+        if self._journal is not None:
+            self._journal.emit(
+                {"t": "tlc", "tr": track, "nd": node, "op": "set", "v": capacity}
+            )
         self._capacity[(track, node)] = capacity
 
     def add_capacity(self, track: str, node: int, capacity: float) -> None:
+        if self._journal is not None:
+            self._journal.emit(
+                {"t": "tlc", "tr": track, "nd": node, "op": "add", "v": capacity}
+            )
         key = (track, node)
         self._capacity[key] = self._capacity.get(key, 0.0) + capacity
 
@@ -300,8 +319,9 @@ class TrafficMatrix:
     per-partition bytes/records for skew analysis.
     """
 
-    def __init__(self, job: Optional[str] = None):
+    def __init__(self, job: Optional[str] = None, journal=None):
         self.job = job or ""
+        self._journal = journal
         #: (src, dst) -> [bytes, payloads, records]
         self._edges: dict[tuple[int, int], list[float]] = {}
         #: mode -> [bytes, payloads]
@@ -323,6 +343,14 @@ class TrafficMatrix:
             raise ValueError(f"negative traffic charge: {nbytes}")
         if mode not in MODES:
             raise ValueError(f"unknown exchange mode {mode!r}; pick from {MODES}")
+        if self._journal is not None:
+            record = {
+                "t": "x", "j": self.job, "s": src_node, "d": dst_node,
+                "v": nbytes, "r": records, "m": mode,
+            }
+            if partition is not None:
+                record["p"] = partition
+            self._journal.emit(record)
         edge = self._edges.setdefault((src_node, dst_node), [0.0, 0, 0])
         edge[0] += nbytes
         edge[1] += 1

@@ -54,6 +54,16 @@ class Trace:
             self.dropped += 1
         self.records.append(TraceRecord(self.sim.now, category, payload))
 
+    def summary(self) -> dict:
+        """Retention summary for reports and journal footers: how many
+        records are held, how many the ring buffer evicted, and the bound
+        (None = unbounded)."""
+        return {
+            "records": len(self.records),
+            "dropped": self.dropped,
+            "max_records": self.max_records,
+        }
+
     def filter(self, category: str) -> list[TraceRecord]:
         return [r for r in self.records if r.category == category]
 

@@ -1,0 +1,420 @@
+"""Tests for durable run journals and byte-identical replay.
+
+Mirrors the hostprof non-perturbation suite: journaling must be provably
+one-way (virtual outputs byte-identical with the journal on or off), the
+journal itself must be byte-deterministic across identical runs, and
+replaying a journal must reproduce every derived view — report,
+timeline, chrome trace, critical path — byte for byte, with no
+re-execution.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import wordcount
+from repro.apps.base import AppEnv
+from repro.cluster.spec import small_cluster_spec
+from repro.evaluation.obsreport import report_json
+from repro.evaluation.runner import run_workload
+from repro.evaluation.telemetryreport import telemetry_json
+from repro.evaluation.workloads import table2_workloads
+from repro.obs.blame import BUCKETS
+from repro.obs.journal import (
+    JOURNAL_SCHEMA,
+    RECORD_TYPES,
+    JournalError,
+    JournalWriter,
+    bucket_slowdown_from_env,
+    decode_record,
+    encode_record,
+    read_journal,
+    seed_bucket_slowdown,
+)
+from repro.obs.replay import replay_file, replay_lines
+
+
+def _run_journaled_wordcount(seed=0, target_bytes=50_000, trace_max_records=None,
+                             sink=None):
+    """One journaled hamr wordcount run on the small test cluster."""
+    params = wordcount.WordCountParams(target_bytes=target_bytes, seed=seed)
+    records = wordcount.generate_input(params)
+    writer = JournalWriter(sink=sink)
+    writer.write_header(
+        workload="wordcount", label="WordCount", data_size="16GB", engine="hamr"
+    )
+    env = AppEnv(
+        small_cluster_spec(num_workers=3), obs=True, journal=writer,
+        trace_max_records=trace_max_records,
+    )
+    result = wordcount.run_hamr(env, params, records)
+    trace = env.cluster.trace.summary()
+    writer.write_footer(
+        makespan=result.makespan,
+        virtual_end=env.cluster.sim.now,
+        trace_records=trace["records"],
+        trace_dropped=trace["dropped"],
+        trace_max_records=trace_max_records,
+    )
+    return env, result, writer
+
+
+# -- encoding -------------------------------------------------------------------
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+_records = st.fixed_dictionaries(
+    {"t": st.sampled_from(RECORD_TYPES)},
+    optional={
+        "n": st.text(max_size=20),
+        "v": _scalars,
+        "l": st.lists(
+            st.tuples(st.text(max_size=8), _scalars).map(list), max_size=3
+        ),
+        "a": st.dictionaries(st.text(max_size=8), _scalars, max_size=3),
+    },
+)
+
+
+class TestEncoding:
+    @given(_records)
+    @settings(max_examples=200)
+    def test_encode_decode_reencode_is_byte_identical(self, record):
+        line = encode_record(record)
+        assert "\n" not in line
+        decoded = decode_record(line)
+        assert decoded == record
+        assert encode_record(decoded) == line
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_floats_round_trip_exactly(self, value):
+        record = {"t": "c", "v": value}
+        assert decode_record(encode_record(record))["v"] == value
+
+    def test_int_float_distinction_survives(self):
+        as_int = decode_record(encode_record({"t": "c", "v": 3}))["v"]
+        as_float = decode_record(encode_record({"t": "c", "v": 3.0}))["v"]
+        assert isinstance(as_int, int) and isinstance(as_float, float)
+
+    @pytest.mark.parametrize(
+        "line",
+        ["not json", "[1, 2]", '"just a string"', '{"no": "type"}',
+         '{"t": "nope"}'],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(JournalError):
+            decode_record(line)
+
+    def test_read_journal_validates_structure(self):
+        header = encode_record({"t": "header", "schema": JOURNAL_SCHEMA})
+        footer = encode_record({"t": "footer", "events": 0})
+        with pytest.raises(JournalError, match="empty"):
+            read_journal([])
+        with pytest.raises(JournalError, match="header"):
+            read_journal([footer])
+        with pytest.raises(JournalError, match="schema"):
+            read_journal([encode_record({"t": "header", "schema": "x/v9"}), footer])
+        with pytest.raises(JournalError, match="footer"):
+            read_journal([header, encode_record({"t": "c", "n": "x", "l": [], "v": 1})])
+        assert len(read_journal([header, footer])) == 2
+
+
+class TestWriter:
+    def test_header_footer_lifecycle(self):
+        writer = JournalWriter()
+        writer.write_header(workload="w")
+        writer.emit({"t": "e", "s": 1, "d": 2, "k": "produce"})
+        writer.write_footer(makespan=1.5)
+        records = read_journal(writer.lines)
+        assert records[0]["schema"] == JOURNAL_SCHEMA
+        assert records[0]["workload"] == "w"
+        # the footer's event count excludes the footer itself
+        assert records[-1]["events"] == 2
+        assert records[-1]["makespan"] == 1.5
+        with pytest.raises(JournalError, match="sealed"):
+            writer.emit({"t": "e", "s": 2, "d": 3, "k": "produce"})
+
+    def test_double_header_and_missing_header_raise(self):
+        writer = JournalWriter()
+        writer.write_header()
+        with pytest.raises(JournalError, match="already"):
+            writer.write_header()
+        fresh = JournalWriter()
+        with pytest.raises(JournalError, match="before header"):
+            fresh.write_footer()
+
+    def test_span_counts(self):
+        writer = JournalWriter()
+        writer.write_header()
+        writer.emit({"t": "so", "id": 1, "n": "a", "c": "task", "st": 0.0})
+        writer.emit({"t": "so", "id": 2, "n": "b", "c": "task", "st": 1.0})
+        writer.emit({"t": "sc", "id": 1, "end": 2.0})
+        writer.write_footer()
+        footer = writer.records[-1]
+        assert footer["spans_opened"] == 2
+        assert footer["spans_closed"] == 1
+
+    def test_sink_streams_identical_bytes(self):
+        sink = io.StringIO()
+        _env, _result, writer = _run_journaled_wordcount(sink=sink)
+        assert sink.getvalue() == writer.getvalue()
+
+    def test_save_load_round_trip(self, tmp_path):
+        _env, _result, writer = _run_journaled_wordcount()
+        path = tmp_path / "run.journal.jsonl"
+        writer.save(str(path))
+        assert replay_file(str(path)).tracer.to_json() == replay_lines(
+            writer.lines
+        ).tracer.to_json()
+
+
+# -- non-perturbation and determinism --------------------------------------------
+
+
+class TestNonPerturbation:
+    def test_journaling_does_not_perturb_virtual_outputs(self):
+        """Journal on vs off: every virtual artifact stays byte-identical."""
+        params = wordcount.WordCountParams(target_bytes=50_000, seed=0)
+        records = wordcount.generate_input(params)
+        env_off = AppEnv(small_cluster_spec(num_workers=3), obs=True)
+        res_off = wordcount.run_hamr(env_off, params, records)
+        env_on, res_on, _writer = _run_journaled_wordcount()
+        assert res_off.makespan == res_on.makespan
+        assert env_off.obs.to_json() == env_on.obs.to_json()
+        assert report_json(env_off.obs, "wordcount", "hamr") == report_json(
+            env_on.obs, "wordcount", "hamr"
+        )
+        assert json.dumps(env_off.obs.to_chrome_trace(), sort_keys=True) == (
+            json.dumps(env_on.obs.to_chrome_trace(), sort_keys=True)
+        )
+
+    def test_journal_requires_enabled_tracer(self):
+        from repro.obs.spans import Tracer
+        from repro.sim import Simulator
+
+        with pytest.raises(ValueError, match="enabled"):
+            Tracer(Simulator(), enabled=False, journal=JournalWriter())
+
+
+class TestDeterminism:
+    def test_identical_runs_journal_byte_identically(self):
+        _e1, _r1, w1 = _run_journaled_wordcount()
+        _e2, _r2, w2 = _run_journaled_wordcount()
+        assert w1.getvalue() == w2.getvalue()
+
+    def test_cross_engine_determinism_at_fixed_seed(self):
+        from repro.evaluation.workloads import make_wordcount
+
+        rows = [
+            run_workload(make_wordcount("tiny", seed=0), engines="both", journal=True)
+            for _ in range(2)
+        ]
+        assert rows[0].hamr_journal.getvalue() == rows[1].hamr_journal.getvalue()
+        assert rows[0].hadoop_journal.getvalue() == rows[1].hadoop_journal.getvalue()
+        # the two engines produce *different* journals for the same input
+        assert rows[0].hamr_journal.getvalue() != rows[0].hadoop_journal.getvalue()
+
+
+# -- replay ----------------------------------------------------------------------
+
+
+class TestReplay:
+    def test_replay_metadata(self):
+        _env, result, writer = _run_journaled_wordcount()
+        run = replay_lines(writer.lines)
+        assert run.workload == "wordcount"
+        assert run.engine == "hamr"
+        assert run.label == "WordCount"
+        assert run.makespan == result.makespan
+        assert run.trace_dropped == 0
+        assert "WordCount" in run.title()
+
+    def test_replay_reconstructs_wordcount_byte_identically(self):
+        env, _result, writer = _run_journaled_wordcount()
+        run = replay_lines(writer.lines)
+        assert run.tracer.to_json() == env.obs.to_json()
+        assert report_json(run.tracer, "wordcount", "hamr") == report_json(
+            env.obs, "wordcount", "hamr"
+        )
+        assert telemetry_json(run.tracer, "wordcount", "hamr") == telemetry_json(
+            env.obs, "wordcount", "hamr"
+        )
+        assert json.dumps(run.tracer.to_chrome_trace(), sort_keys=True) == (
+            json.dumps(env.obs.to_chrome_trace(), sort_keys=True)
+        )
+
+    def test_replay_equals_live_for_all_table2_workloads(self):
+        """The acceptance bar: every Table 2 workload x both engines
+        replays to a byte-identical report from the journal alone."""
+        for w in table2_workloads("tiny"):
+            row = run_workload(w, engines="both", journal=True)
+            for engine, writer, tracer in (
+                ("hamr", row.hamr_journal, row.hamr_obs),
+                ("hadoop", row.hadoop_journal, row.hadoop_obs),
+            ):
+                run = replay_lines(writer.lines)
+                assert report_json(run.tracer, w.name, engine) == report_json(
+                    tracer, w.name, engine
+                ), f"{w.name}/{engine} replay diverged from the live report"
+                assert telemetry_json(run.tracer, w.name, engine) == (
+                    telemetry_json(tracer, w.name, engine)
+                ), f"{w.name}/{engine} replay diverged from the live timeline"
+
+    def test_replay_rejects_unknown_mid_journal_record(self):
+        writer = JournalWriter()
+        writer.write_header()
+        writer.emit({"t": "header", "schema": JOURNAL_SCHEMA})  # header mid-stream
+        writer.write_footer()
+        with pytest.raises(JournalError, match="mid-journal"):
+            replay_lines(writer.lines)
+
+
+# -- trace drop accounting --------------------------------------------------------
+
+
+class TestTraceDropped:
+    def test_ring_buffer_summary_counts_evictions(self):
+        from repro.sim import Simulator, Trace
+
+        trace = Trace(Simulator(), max_records=3)
+        for i in range(7):
+            trace.record("spill", run=i)
+        summary = trace.summary()
+        assert summary == {"records": 3, "dropped": 4, "max_records": 3}
+        # the newest records are the ones kept
+        assert [r.payload["run"] for r in trace.records] == [4, 5, 6]
+
+    def test_bounded_run_footer_carries_the_drop_count(self):
+        # hadoop naive_bayes spills at tiny (sim-trace records exist),
+        # so a tight bound provably evicts
+        from repro.evaluation.workloads import make_naive_bayes
+
+        row = run_workload(
+            make_naive_bayes("tiny", seed=0), engines="hadoop",
+            journal=True, trace_max_records=5,
+        )
+        footer = row.hadoop_journal.records[-1]
+        assert footer["trace_records"] == 5
+        assert footer["trace_dropped"] == row.hadoop_trace_dropped > 0
+        assert footer["trace_max_records"] == 5
+        run = replay_lines(row.hadoop_journal.lines)
+        assert run.trace_dropped == footer["trace_dropped"]
+        assert run.trace_max_records == 5
+
+    def test_unbounded_trace_drops_nothing(self):
+        env, _result, writer = _run_journaled_wordcount()
+        assert env.cluster.trace.summary()["dropped"] == 0
+        assert writer.records[-1]["trace_dropped"] == 0
+
+    def test_report_warns_on_dropped_records(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        rc = main(["report", "--workload", "naive_bayes", "--engine", "hadoop",
+                   "--fidelity", "tiny", "--trace-max-records", "5",
+                   "--json", "-"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "trace records dropped" in err
+
+    def test_non_positive_trace_bound_exits_2(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        for bad in ("0", "-3"):
+            assert main(["report", "--workload", "wordcount",
+                         "--trace-max-records", bad]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
+# -- seeded synthetic regression --------------------------------------------------
+
+
+class TestSeededSlowdown:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_SLOWDOWN", raising=False)
+        assert bucket_slowdown_from_env() is None
+        # the workload=factor form belongs to bench_obs, not the journal
+        monkeypatch.setenv("REPRO_OBS_SLOWDOWN", "wordcount=2.0")
+        assert bucket_slowdown_from_env() is None
+        monkeypatch.setenv("REPRO_OBS_SLOWDOWN", "disk=2.0")
+        assert bucket_slowdown_from_env() == ("disk", 2.0)
+        monkeypatch.setenv("REPRO_OBS_SLOWDOWN", "disk=fast")
+        with pytest.raises(SystemExit):
+            bucket_slowdown_from_env()
+
+    def test_rejects_bad_arguments(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        with pytest.raises(ValueError, match="bucket"):
+            seed_bucket_slowdown(writer.records, "nope", 2.0)
+        with pytest.raises(ValueError, match="positive"):
+            seed_bucket_slowdown(writer.records, "disk", 0.0)
+
+    def test_dilation_grows_makespan_and_scales_charges(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        records = writer.records
+        factor = 2.0
+        disk_total = sum(
+            r["v"] for r in records if r["t"] == "b" and r["bk"] == "disk"
+            and r.get("sp") is not None
+        )
+        assert disk_total > 0
+        seeded = seed_bucket_slowdown(records, "disk", factor)
+        base_footer, new_footer = records[-1], seeded[-1]
+        grown = new_footer["makespan"] - base_footer["makespan"]
+        assert grown == pytest.approx((factor - 1.0) * disk_total)
+        assert new_footer["seeded_slowdown"] == {"bucket": "disk", "factor": factor}
+        # every span's dilated interval is covered by its (scaled +
+        # compensating) charges, so the critical path sees no phantom time
+        assert sum(
+            r["v"] for r in seeded if r["t"] == "b" and r["bk"] == "disk"
+        ) >= factor * disk_total - 1e-9
+
+    def test_dilation_preserves_event_order_and_replays(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        seeded = seed_bucket_slowdown(writer.records, "disk", 2.0)
+        # monotone remap: span opens never move before their original order
+        opens = [r["st"] for r in seeded if r["t"] == "so"]
+        base_opens = [r["st"] for r in writer.records if r["t"] == "so"]
+        for base, new in zip(base_opens, opens):
+            assert new >= base - 1e-12
+        lines = [encode_record(r) for r in seeded]
+        run = replay_lines(lines)
+        assert run.makespan == seeded[-1]["makespan"]
+        # the dilated journal still renders every derived view
+        assert report_json(run.tracer, "wordcount", "hamr")
+
+    def test_identity_factor_changes_only_the_footer(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        seeded = seed_bucket_slowdown(writer.records, "disk", 1.0)
+        assert len(seeded) == len(writer.records)
+        assert seeded[:-1] == writer.records[:-1]
+
+    def test_explain_ranks_seeded_bucket_first(self):
+        """The CI self-test, in-process: a seeded disk slowdown must come
+        back as the #1 makespan-delta contributor."""
+        from repro.obs.explain import explain, side_from_tracer
+
+        _env, _result, writer = _run_journaled_wordcount()
+        assert "disk" in BUCKETS
+        seeded = seed_bucket_slowdown(writer.records, "disk", 2.0)
+        base = replay_lines(writer.lines)
+        inflated = replay_lines([encode_record(r) for r in seeded])
+        result = explain(
+            side_from_tracer(base.tracer, "baseline"),
+            side_from_tracer(inflated.tracer, "inflated"),
+        )
+        assert result.makespan_delta > 0
+        assert result.top["buckets"] == "disk"
+        top_row = result.rows["buckets"][0]
+        assert top_row[0] == "disk"
+        # the ranked contribution explains (at least) the makespan growth
+        assert top_row[3] == pytest.approx(result.makespan_delta, rel=0.05)
