@@ -29,6 +29,11 @@ before/after. Hostprof ``total_ns`` is likewise informational; only the
 bucket *shares* gate, under the diff's absolute ``--host-tolerance``
 band.
 
+``--append-history [PATH]`` additionally appends one compact perf-history
+row (schema ``repro.obs.history/v1``: the v5 totals, host shares and the
+producing git commit) to ``BENCH_history.jsonl`` — the append-only series
+``python -m repro.evaluation trend`` scans for sustained regressions.
+
 ``REPRO_OBS_SLOWDOWN=workload=factor`` scales one workload's recorded
 virtual seconds — a seeded synthetic regression for validating that the
 CI gate actually fails on drift. ``REPRO_OBS_HOST_SLOWDOWN=bucket=factor``
@@ -49,6 +54,7 @@ from repro.evaluation.runner import run_workload
 from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
 from repro.obs import BUCKETS
 from repro.obs.critpath import from_tracer
+from repro.obs.history import DEFAULT_HISTORY_PATH, append_history, history_row, resolve_commit
 
 BENCH_SCHEMA = "repro.obs.bench/v5"
 
@@ -276,6 +282,16 @@ def main(argv=None) -> int:
         help="also write one durable run journal per workload x engine "
         "to <out-stem>.<workload>.<engine>.journal.jsonl",
     )
+    parser.add_argument(
+        "--append-history",
+        nargs="?",
+        const=DEFAULT_HISTORY_PATH,
+        default=None,
+        metavar="PATH",
+        help="also append one perf-history row (totals + host shares + "
+        f"git commit) to PATH (default {DEFAULT_HISTORY_PATH}; see "
+        "`python -m repro.evaluation trend`)",
+    )
     args = parser.parse_args(argv)
 
     selected = [w for w in args.workloads.split(",") if w] or list(TABLE2_ORDER)
@@ -294,8 +310,12 @@ def main(argv=None) -> int:
             name, args.fidelity, args.engines, journal_stem=journal_stem
         )
     path = pathlib.Path(args.out)
-    write_payload(build_payload(rows, args.fidelity), path)
+    payload = build_payload(rows, args.fidelity)
+    write_payload(payload, path)
     print(f"wrote {path}")
+    if args.append_history is not None:
+        append_history(history_row(payload, resolve_commit()), args.append_history)
+        print(f"appended history row to {args.append_history}")
     if args.profile:
         from repro.evaluation.profilereport import profile_payload
 

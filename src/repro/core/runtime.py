@@ -250,9 +250,12 @@ class NodeRuntime:
         """Run setup hooks, spawn one dispatcher per instance; returns
         the instances' completion events."""
         events = []
+        job = self.job or self.graph.name
         for flowlet in self.graph.topological_order():
             instance = self.instances[flowlet.name]
             flowlet.setup(instance.ctx)
+            # one unit of stage work per flowlet instance on this node
+            self.obs.progress_total(job, flowlet.name)
             if flowlet.kind is FlowletKind.LOADER:
                 dispatcher = self._loader_dispatcher(instance)
             elif flowlet.kind is FlowletKind.REDUCE:
@@ -975,4 +978,5 @@ class NodeRuntime:
                 self.engine.runtimes[target].instance(edge.dst.name).note_completion(
                     edge.edge_id, self.worker_index
                 )
+        self.obs.progress_done(self.job or self.graph.name, instance.flowlet.name)
         instance.completion_event.trigger(instance.flowlet.name)

@@ -28,6 +28,15 @@ Usage::
                                       [--bins 60] [--json out.json] [--chrome t.json]
     python -m repro.evaluation explain A B   # journal files or workload:engine specs
                                       [--fidelity small] [--json delta.json]
+    python -m repro.evaluation watch [WORKLOAD] [ENGINE]
+                                      [--interval 25] [--stall-window 300]
+                                      [--slo-spec spec.json] [--out run]
+                                      [--json watch.json]
+    python -m repro.evaluation slo [BENCH.json | WORKLOAD ENGINE]
+                                      [--slo-spec spec.json] [--json slo.json]
+    python -m repro.evaluation trend [BENCH_history.jsonl]
+                                      [--metric virtual_seconds]
+                                      [--fail-on-shift] [--json trend.json]
 
 Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
 (the human-readable report then goes nowhere — stdout carries only JSON).
@@ -40,6 +49,16 @@ buckets, operators and nodes along the differential critical path. With
 ``REPRO_OBS_SLOWDOWN=<bucket>=<factor>`` set, ``journal`` additionally
 dilates the written journals into a seeded synthetic regression (the
 ``explain`` self-test in CI).
+
+``watch`` runs workloads with the live progress engine on: periodic
+virtual-time dashboard frames (per-stage completion, ETA, flow-control
+gauges, watchdog verdict), journaled as ``fr`` records so ``replay
+--view watch`` re-renders them byte-identically. ``slo`` checks a
+committed BENCH artifact — or a live run — against the declarative
+per-workload SLO specs and exits 1 on any breach. ``trend`` runs
+median+MAD change-point detection over ``BENCH_history.jsonl`` (see
+``benchmarks/bench_obs.py --append-history``) and exits 1 with
+``--fail-on-shift`` when a sustained shift is detected.
 """
 
 from __future__ import annotations
@@ -64,18 +83,20 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
             "report", "timeline", "diff", "profile", "calibrate",
-            "journal", "replay", "explain",
+            "journal", "replay", "explain", "watch", "slo", "trend",
         ],
     )
     parser.add_argument(
         "name", nargs="?",
         help="benchmark name for `bench`; baseline artifact A for `diff`; "
         "journal path for `replay`; run A (journal path or workload:engine) "
-        "for `explain`",
+        "for `explain`; workload (or BENCH artifact for `slo`) for "
+        "`watch`/`slo`; history path for `trend`",
     )
     parser.add_argument(
         "name2", nargs="?",
-        help="candidate artifact B for `diff`; run B for `explain`",
+        help="candidate artifact B for `diff`; run B for `explain`; "
+        "engine for `watch`/`slo`",
     )
     parser.add_argument(
         "--fidelity",
@@ -126,17 +147,71 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="run",
+        default=None,
         metavar="PREFIX",
-        help="`journal`: output prefix — writes PREFIX.<workload>.<engine>"
-        ".journal.jsonl (a PREFIX ending in .jsonl with a single workload "
-        "and engine is used as the exact path)",
+        help="`journal`/`watch`: output prefix — writes PREFIX.<workload>"
+        ".<engine>.journal.jsonl (a PREFIX ending in .jsonl with a single "
+        "workload and engine is used as the exact path; `journal` defaults "
+        "to `run`, `watch` writes no journal files unless given)",
     )
     parser.add_argument(
         "--view",
         default="report",
-        choices=["report", "timeline", "critpath"],
+        choices=["report", "timeline", "critpath", "watch"],
         help="`replay`: which derived view to reconstruct (default report)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=25.0,
+        metavar="SECONDS",
+        help="`watch`: virtual seconds between dashboard frames (default 25)",
+    )
+    parser.add_argument(
+        "--stall-window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="`watch`: flag STALLED when no tracked counter advances for "
+        "this many virtual seconds (default 300)",
+    )
+    parser.add_argument(
+        "--slo-spec", metavar="PATH",
+        help="`watch`/`slo`: JSON SLO overrides "
+        '({"workload:engine": {"makespan_budget": ...}, "*": {...}})',
+    )
+    parser.add_argument(
+        "--metric",
+        default="virtual_seconds",
+        choices=["virtual_seconds", "stall_share", "traffic_bytes", "wall_seconds"],
+        help="`trend`: which history metric to scan (default virtual_seconds)",
+    )
+    parser.add_argument(
+        "--fail-on-shift",
+        action="store_true",
+        help="`trend`: exit non-zero when a sustained shift is detected",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=4,
+        metavar="N",
+        help="`trend`: reference rows required before verdicts (default 4)",
+    )
+    parser.add_argument(
+        "--sustain",
+        type=int,
+        default=2,
+        metavar="N",
+        help="`trend`: consecutive out-of-band rows that confirm a shift "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--mad-threshold",
+        type=float,
+        default=4.0,
+        metavar="K",
+        help="`trend`: band half-width in robust sigmas (default 4.0)",
     )
     parser.add_argument(
         "--trace-max-records",
@@ -156,21 +231,6 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.artifact in ("report", "timeline", "profile", "calibrate", "journal"):
-        if args.workload not in list(TABLE2_ORDER) + ["all"]:
-            print(
-                f"error: unknown workload {args.workload!r} "
-                f"(choose from: {', '.join(TABLE2_ORDER)}, all)",
-                file=sys.stderr,
-            )
-            return 2
-        if args.engine not in ("both", "hamr", "hadoop"):
-            print(
-                f"error: unknown engine {args.engine!r} "
-                "(choose from: both, hamr, hadoop)",
-                file=sys.stderr,
-            )
-            return 2
     if args.artifact == "report":
         if args.workload == "all":
             parser.error("report supports a single --workload (not `all`)")
@@ -181,6 +241,12 @@ def main(argv: list[str] | None = None) -> int:
         return _profile(args)
     if args.artifact == "calibrate":
         return _calibrate(args)
+    if args.artifact == "watch":
+        return _watch(args)
+    if args.artifact == "slo":
+        return _slo(args)
+    if args.artifact == "trend":
+        return _trend(args)
     if args.artifact == "diff":
         if not args.name or not args.name2:
             parser.error("diff requires two artifact paths: A.json B.json")
@@ -242,6 +308,41 @@ def main(argv: list[str] | None = None) -> int:
         rows = result.rows if result is not None else None
         print(figure3b(args.fidelity, rows=rows).rendered)
     return 0
+
+
+def _expand_filters(args):
+    """Validate ``--workload``/``--engine`` and expand them to lists.
+
+    The one place the per-run subcommands (report/timeline/profile/
+    calibrate/journal/watch/slo/trend) share their filter wiring: returns
+    ``(workloads, engines)``, or the exit code 2 after printing the error
+    (callers ``return`` it unchanged).
+    """
+    if args.workload not in list(TABLE2_ORDER) + ["all"]:
+        print(
+            f"error: unknown workload {args.workload!r} "
+            f"(choose from: {', '.join(TABLE2_ORDER)}, all)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine not in ("both", "hamr", "hadoop"):
+        print(
+            f"error: unknown engine {args.engine!r} "
+            "(choose from: both, hamr, hadoop)",
+            file=sys.stderr,
+        )
+        return 2
+    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    engines = ["hamr", "hadoop"] if args.engine == "both" else [args.engine]
+    return workloads, engines
+
+
+def _engine_column(row, engine: str, attr: str):
+    """The per-engine field of a BenchmarkRow (``hamr_obs``/``hadoop_obs``,
+    journals, monitors, drop counters, makespans...)."""
+    if attr == "seconds":
+        return row.hamr_seconds if engine == "hamr" else row.idh_seconds
+    return getattr(row, f"{engine}_{attr}")
 
 
 def _emit_json(path: str, payload: dict, note: str = "") -> None:
@@ -313,8 +414,11 @@ def _journal(args) -> int:
         seed_bucket_slowdown,
     )
 
-    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
-    engines = ["hamr", "hadoop"] if args.engine == "both" else [args.engine]
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
+    workloads, engines = filters
+    out = args.out or "run"
     seeded = bucket_slowdown_from_env()
     for name in workloads:
         if len(workloads) > 1:
@@ -326,13 +430,11 @@ def _journal(args) -> int:
             trace_max_records=args.trace_max_records,
         )
         for engine in engines:
-            writer = row.hamr_journal if engine == "hamr" else row.hadoop_journal
-            dropped = (
-                row.hamr_trace_dropped if engine == "hamr"
-                else row.hadoop_trace_dropped
+            writer = _engine_column(row, engine, "journal")
+            _warn_dropped(
+                _engine_column(row, engine, "trace_dropped"), f"{name} on {engine}"
             )
-            _warn_dropped(dropped, f"{name} on {engine}")
-            path = _journal_path(args.out, workloads, engines, name, engine)
+            path = _journal_path(out, workloads, engines, name, engine)
             if seeded is not None:
                 bucket, factor = seeded
                 records = seed_bucket_slowdown(writer.records, bucket, factor)
@@ -347,6 +449,252 @@ def _journal(args) -> int:
             else:
                 writer.save(path)
                 print(f"wrote {path} ({writer.events} events)", file=sys.stderr)
+    return 0
+
+
+def _watch(args) -> int:
+    """Run workload(s) with the live progress engine; print the dashboard.
+
+    Frames are journaled (``wcfg``/``fr`` records), so with ``--out`` the
+    saved journal replays the dashboard byte-identically via ``replay
+    --view watch``. With ``REPRO_OBS_SLOWDOWN=<bucket>=<factor>`` the
+    journal is dilated first and the dashboard renders the slowed
+    timeline (ETAs and watchdog verdicts recomputed).
+    """
+    from repro.obs.journal import (
+        JournalWriter,
+        bucket_slowdown_from_env,
+        encode_record,
+        seed_bucket_slowdown,
+    )
+    from repro.obs.live import (
+        LIVE_SCHEMA,
+        STATUS_RUNNING,
+        STATUS_STALLED,
+        LiveMonitor,
+        WatchConfig,
+        render_watch,
+    )
+    from repro.obs.slo import load_slo_file, spec_for
+
+    if args.name:
+        args.workload = args.name
+    if args.name2:
+        args.engine = args.name2
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
+    workloads, engines = filters
+    if args.interval <= 0:
+        print(
+            f"error: --interval must be positive (got {args.interval:g})",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = None
+    if args.slo_spec:
+        try:
+            overrides = load_slo_file(args.slo_spec)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    config = WatchConfig(interval=args.interval, window=args.stall_window)
+    seeded = bucket_slowdown_from_env()
+    exported: dict[str, dict] = {}
+    for name in workloads:
+        if len(workloads) > 1:
+            print(f"  running {name} ...", file=sys.stderr, flush=True)
+
+        def _monitor(engine, tracer, workload=name):
+            return LiveMonitor(
+                tracer, config=config, slo=spec_for(workload, engine, overrides)
+            )
+
+        row = run_workload(
+            workload_by_name(name, args.fidelity),
+            engines=args.engine,
+            journal=lambda engine: JournalWriter(meta={"fidelity": args.fidelity}),
+            watch=_monitor,
+            trace_max_records=args.trace_max_records,
+        )
+        for engine in engines:
+            monitor = _engine_column(row, engine, "watch")
+            writer = _engine_column(row, engine, "journal")
+            _warn_dropped(
+                _engine_column(row, engine, "trace_dropped"), f"{name} on {engine}"
+            )
+            records = writer.records
+            makespan = _engine_column(row, engine, "seconds")
+            frames = monitor.frames
+            if seeded is not None:
+                bucket, factor = seeded
+                records = seed_bucket_slowdown(records, bucket, factor)
+                frames = [
+                    {k: v for k, v in rec.items() if k != "t"}
+                    for rec in records
+                    if rec.get("t") == "fr"
+                ]
+                makespan = records[-1].get("makespan", makespan)
+            if args.json != "-":
+                title = f"{row.label} ({row.data_size}) on {engine}"
+                print(render_watch(title, (config.interval, config.window), frames))
+                print()
+            exported.setdefault(name, {})[engine] = {
+                "interval": config.interval,
+                "window": config.window,
+                "frames": frames,
+                "status": frames[-1]["status"] if frames else STATUS_RUNNING,
+                "stalled_frames": sum(
+                    1 for f in frames if f["status"] == STATUS_STALLED
+                ),
+                "makespan": makespan,
+            }
+            if args.out:
+                path = _journal_path(args.out, workloads, engines, name, engine)
+                with open(path, "w") as fh:
+                    for record in records:
+                        fh.write(encode_record(record) + "\n")
+                print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        payload = {
+            "schema": LIVE_SCHEMA,
+            "fidelity": args.fidelity,
+            "workloads": exported,
+        }
+        _emit_json(args.json, payload)
+    return 0
+
+
+def _slo(args) -> int:
+    """Check a BENCH artifact — or live run(s) — against the SLO specs.
+
+    ``slo BENCH.json`` evaluates every workload × engine row the artifact
+    holds (straggler CV reports n/a — artifacts carry no per-node
+    timelines); ``slo [WORKLOAD] [ENGINE]`` runs the workload traced and
+    evaluates the live tracer (CV measurable). Exits 1 on any FAIL.
+    """
+    import os
+
+    from repro.obs.slo import (
+        evaluate_entry,
+        evaluate_tracer,
+        load_slo_file,
+        render_slo,
+        slo_dict,
+    )
+
+    overrides = None
+    if args.slo_spec:
+        try:
+            overrides = load_slo_file(args.slo_spec)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    results: list[dict] = []
+    if args.name and (os.path.exists(args.name) or args.name.endswith(".json")):
+        try:
+            with open(args.name) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: {args.name}: {exc}", file=sys.stderr)
+            return 2
+        schema = payload.get("schema", "") if isinstance(payload, dict) else ""
+        if not schema.startswith("repro.obs.bench/"):
+            print(
+                f"error: {args.name} is not a BENCH artifact "
+                f"(schema {schema!r})",
+                file=sys.stderr,
+            )
+            return 2
+        for workload in sorted(payload.get("rows", {})):
+            per_engine = payload["rows"][workload]
+            for engine in ("hamr", "hadoop"):
+                entry = per_engine.get(engine)
+                if isinstance(entry, dict):
+                    results.append(
+                        evaluate_entry(workload, engine, entry, overrides)
+                    )
+        if not results:
+            print(
+                f"error: {args.name} holds no workload × engine rows",
+                file=sys.stderr,
+            )
+            return 2
+        source = args.name
+    else:
+        if args.name:
+            args.workload = args.name
+        if args.name2:
+            args.engine = args.name2
+        filters = _expand_filters(args)
+        if isinstance(filters, int):
+            return filters
+        workloads, engines = filters
+        for name in workloads:
+            if len(workloads) > 1:
+                print(f"  running {name} ...", file=sys.stderr, flush=True)
+            row = run_workload(
+                workload_by_name(name, args.fidelity),
+                engines=args.engine,
+                obs=True,
+                trace_max_records=args.trace_max_records,
+            )
+            for engine in engines:
+                _warn_dropped(
+                    _engine_column(row, engine, "trace_dropped"),
+                    f"{name} on {engine}",
+                )
+                results.append(
+                    evaluate_tracer(
+                        name,
+                        engine,
+                        _engine_column(row, engine, "obs"),
+                        _engine_column(row, engine, "seconds"),
+                        overrides,
+                    )
+                )
+        source = f"live:{args.fidelity}"
+    if args.json != "-":
+        print(render_slo(results))
+    if args.json:
+        _emit_json(args.json, slo_dict(results, source))
+    return 0 if all(r["ok"] for r in results) else 1
+
+
+def _trend(args) -> int:
+    """Change-point detection over the perf history; optional CI gate."""
+    from repro.obs.history import (
+        DEFAULT_HISTORY_PATH,
+        load_history,
+        render_trend,
+        trend_report,
+    )
+
+    path = args.name or DEFAULT_HISTORY_PATH
+    try:
+        history = load_history(path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not history:
+        print(f"error: {path} holds no history rows", file=sys.stderr)
+        return 2
+    report = trend_report(
+        history,
+        metric=args.metric,
+        min_history=args.min_history,
+        threshold=args.mad_threshold,
+        sustain=args.sustain,
+    )
+    if args.json != "-":
+        print(render_trend(report))
+    if args.json:
+        _emit_json(args.json, report)
+    if args.fail_on_shift and report["shifts"]:
+        return 1
     return 0
 
 
@@ -370,14 +718,23 @@ def _replay(args) -> int:
         )
 
         if args.json != "-":
-            print(render_report(tracer, title=run.title()))
+            print(
+                render_report(
+                    tracer, title=run.title(), trace_dropped=run.trace_dropped
+                )
+            )
             print()
         if args.json:
             payload = {
                 "schema": REPORT_SCHEMA,
                 "workload": run.workload,
                 "engines": {
-                    run.engine: report_dict(tracer, run.workload, run.engine)
+                    run.engine: report_dict(
+                        tracer,
+                        run.workload,
+                        run.engine,
+                        trace_dropped=run.trace_dropped,
+                    )
                 },
             }
             _emit_json(args.json, payload)
@@ -400,6 +757,51 @@ def _replay(args) -> int:
                         run.engine: telemetry_dict(
                             tracer, run.workload, run.engine, bins=args.bins
                         )
+                    }
+                },
+            }
+            _emit_json(args.json, payload)
+    elif args.view == "watch":
+        from repro.obs.live import (
+            LIVE_SCHEMA,
+            STATUS_RUNNING,
+            STATUS_STALLED,
+            render_watch,
+        )
+
+        if run.watch_config is None and not run.frames:
+            print(
+                f"error: {args.name} was not recorded with live monitoring "
+                "(no wcfg/fr records) — re-record with `watch --out`",
+                file=sys.stderr,
+            )
+            return 2
+        config = run.watch_config or {}
+        interval = config.get("interval", 0.0)
+        window = config.get("window", 0.0)
+        title = f"{run.label} ({run.data_size}) on {run.engine}"
+        if args.json != "-":
+            print(render_watch(title, (interval, window), run.frames))
+            print()
+        if args.json:
+            frames = run.frames
+            payload = {
+                "schema": LIVE_SCHEMA,
+                "fidelity": run.fidelity,
+                "workloads": {
+                    run.workload: {
+                        run.engine: {
+                            "interval": interval,
+                            "window": window,
+                            "frames": frames,
+                            "status": (
+                                frames[-1]["status"] if frames else STATUS_RUNNING
+                            ),
+                            "stalled_frames": sum(
+                                1 for f in frames if f["status"] == STATUS_STALLED
+                            ),
+                            "makespan": run.makespan,
+                        }
                     }
                 },
             }
@@ -511,7 +913,10 @@ def _timeline(args) -> int:
         telemetry_dict,
     )
 
-    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
+    workloads, _engines = filters
     exported: dict[str, dict] = {}
     chrome_pick = None
     for name in workloads:
@@ -571,6 +976,9 @@ def _report(args) -> int:
     """Run one traced workload and print/export the observability report."""
     from repro.evaluation.obsreport import REPORT_SCHEMA, render_report, report_dict
 
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
     row = run_workload(
         workload_by_name(args.workload, args.fidelity), engines=args.engine,
         obs=True, trace_max_records=args.trace_max_records,
@@ -597,6 +1005,7 @@ def _report(args) -> int:
                     tracer,
                     title=f"== {row.label} ({row.data_size}) on {engine} — "
                     f"makespan {makespan:.3f}s ==",
+                    trace_dropped=_engine_column(row, engine, "trace_dropped"),
                 )
             )
             print()
@@ -605,7 +1014,12 @@ def _report(args) -> int:
             "schema": REPORT_SCHEMA,
             "workload": args.workload,
             "engines": {
-                engine: report_dict(tracer, args.workload, engine)
+                engine: report_dict(
+                    tracer,
+                    args.workload,
+                    engine,
+                    trace_dropped=_engine_column(row, engine, "trace_dropped"),
+                )
                 for engine, tracer in traced
             },
         }
@@ -650,7 +1064,10 @@ def _profile(args) -> int:
     from repro.evaluation.profilereport import profile_payload, render_hostprof
     from repro.obs.fidelity import fidelity_dict, render_fidelity
 
-    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
+    workloads, _engines = filters
     entries: dict[str, dict] = {}
     chrome_pick = None
     for name, row, traced in _run_profiled(args, workloads):
@@ -702,7 +1119,10 @@ def _calibrate(args) -> int:
         render_calibration,
     )
 
-    workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
+    filters = _expand_filters(args)
+    if isinstance(filters, int):
+        return filters
+    workloads, _engines = filters
     samples = []
     sources = []
     for name, _row, traced in _run_profiled(args, workloads):

@@ -44,6 +44,10 @@ class BenchmarkRow:
     #: journal factory was passed to run_workload)
     hamr_journal: Optional[object] = field(default=None, repr=False)
     hadoop_journal: Optional[object] = field(default=None, repr=False)
+    #: live monitors (repro.obs.live LiveMonitors; None unless ``watch``
+    #: was passed to run_workload)
+    hamr_watch: Optional[object] = field(default=None, repr=False)
+    hadoop_watch: Optional[object] = field(default=None, repr=False)
 
     @property
     def speedup(self) -> float:
@@ -68,6 +72,7 @@ def run_workload(
     obs: bool = False,
     profile: bool = False,
     journal=None,
+    watch=None,
     trace_max_records: Optional[int] = None,
 ) -> BenchmarkRow:
     """Run a workload on fresh environments and assemble its row.
@@ -88,8 +93,18 @@ def run_workload(
     virtual end time and the sim-trace drop counter. Journaling implies
     ``obs=True``. ``trace_max_records`` bounds the sim trace's ring
     buffer (see :class:`repro.sim.Trace`).
+
+    ``watch`` turns on live monitoring (implies ``obs=True``): True or a
+    :class:`~repro.obs.live.WatchConfig` attaches a fresh
+    :class:`~repro.obs.live.LiveMonitor` per engine run, a callable
+    ``(engine_name, tracer) -> LiveMonitor`` builds custom monitors
+    (e.g. with per-engine SLO specs). Monitors are finished before the
+    journal footer so the terminal frame lands inside the journal body;
+    the row carries them (``hamr_watch`` / ``hadoop_watch``).
     """
     if journal is not None and journal is not False:
+        obs = True
+    if watch is not None and watch is not False:
         obs = True
 
     def _writer_for(engine: str):
@@ -129,7 +144,20 @@ def run_workload(
         env = workload.fresh_env(
             obs=obs, journal=writer, trace_max_records=trace_max_records
         )
+        monitor = None
+        if watch is not None and watch is not False:
+            from repro.obs.live import LiveMonitor, WatchConfig
+
+            if callable(watch) and not isinstance(watch, WatchConfig):
+                monitor = watch(engine, env.obs)
+            else:
+                config = watch if isinstance(watch, WatchConfig) else None
+                monitor = LiveMonitor(env.obs, config=config)
+            env.cluster.sim.progress = monitor
         result, wall, prof = _run(runner, env)
+        if monitor is not None:
+            # terminal frame before the footer seals the journal
+            monitor.finish(result.makespan)
         if writer is not None:
             trace = env.cluster.trace.summary()
             writer.write_footer(
@@ -139,7 +167,7 @@ def run_workload(
                 trace_dropped=trace["dropped"],
                 trace_max_records=trace["max_records"],
             )
-        return env, result, wall, prof, writer
+        return env, result, wall, prof, writer, monitor
 
     hamr_result = hadoop_result = None
     hamr_obs = hadoop_obs = None
@@ -147,15 +175,16 @@ def run_workload(
     hamr_prof = hadoop_prof = None
     hamr_dropped = hadoop_dropped = 0
     hamr_writer = hadoop_writer = None
+    hamr_monitor = hadoop_monitor = None
     if engines in ("both", "hamr"):
-        env, hamr_result, hamr_wall, hamr_prof, hamr_writer = _engine_run(
+        env, hamr_result, hamr_wall, hamr_prof, hamr_writer, hamr_monitor = _engine_run(
             workload.run_hamr, "hamr"
         )
         hamr_obs = env.obs if obs else None
         hamr_dropped = env.cluster.trace.dropped
     if engines in ("both", "hadoop"):
-        env, hadoop_result, hadoop_wall, hadoop_prof, hadoop_writer = _engine_run(
-            workload.run_hadoop, "hadoop"
+        env, hadoop_result, hadoop_wall, hadoop_prof, hadoop_writer, hadoop_monitor = (
+            _engine_run(workload.run_hadoop, "hadoop")
         )
         hadoop_obs = env.obs if obs else None
         hadoop_dropped = env.cluster.trace.dropped
@@ -178,4 +207,6 @@ def run_workload(
         hadoop_trace_dropped=hadoop_dropped,
         hamr_journal=hamr_writer,
         hadoop_journal=hadoop_writer,
+        hamr_watch=hamr_monitor,
+        hadoop_watch=hadoop_monitor,
     )

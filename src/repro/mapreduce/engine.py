@@ -174,6 +174,9 @@ class HadoopEngine:
             )
         state["metrics"]["map_tasks"] = len(splits)
         state["metrics"]["reduce_tasks"] = num_reducers if job.reducer else 0
+        obs.progress_total(job.name, "map", float(len(splits)))
+        if job.reducer is not None:
+            obs.progress_total(job.name, "reduce", float(num_reducers))
 
         # -- map wave ---------------------------------------------------------------
         assignment = assign_splits(self.cluster, splits)
@@ -436,6 +439,9 @@ class HadoopEngine:
                 out.node = node  # reducers fetch from the winning attempt's disk
                 out.trace_span = mspan.span_id
                 out.done.trigger()
+                # exactly once per split, even with speculative backups: the
+                # losing attempt bailed out on out.done.triggered above
+                obs.progress_done(job.name, "map")
                 return True
         finally:
             slot.release()
@@ -605,6 +611,7 @@ class HadoopEngine:
                 )
                 if self.config.collect_outputs:
                     state["outputs"].extend(output_pairs)
+                obs.progress_done(job.name, "reduce")
                 return part_name
         finally:
             slot.release()

@@ -52,6 +52,18 @@ class BlameLedger:
     def job_total(self, job: str) -> float:
         return self._job_totals.get(job, 0.0)
 
+    def grand_total(self) -> float:
+        """Task-seconds charged across every job and bucket."""
+        return sum(self._job_totals.values())
+
+    def bucket_total(self, bucket: str) -> float:
+        """One bucket's task-seconds summed over every job and node."""
+        return sum(
+            seconds
+            for (_job, _node, b), seconds in self._charges.items()
+            if b == bucket
+        )
+
     def job_summary(self, job: str) -> dict[str, float]:
         """Bucket -> task-seconds for one job (every bucket present)."""
         summary = {bucket: 0.0 for bucket in BUCKETS}

@@ -44,6 +44,8 @@ tli     timeline interval sample
 tlc     timeline capacity ``set``/``add``
 tm      traffic matrix declared for a job
 x       traffic-matrix charge
+wcfg    live-monitoring config (frame interval, stall window)
+fr      live dashboard frame (progress, ETA, watchdog verdict)
 footer  event/span counts, makespan, trace-drop counter
 ======  =====================================================
 
@@ -68,7 +70,7 @@ JOURNAL_SCHEMA = "repro.obs.journal/v1"
 #: record types, for validation
 RECORD_TYPES = (
     "header", "m", "c", "g", "h", "s", "so", "sc", "e", "b",
-    "tls", "tli", "tlc", "tm", "x", "footer",
+    "tls", "tli", "tlc", "tm", "x", "wcfg", "fr", "footer",
 )
 
 
@@ -345,6 +347,8 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
     new_ends: dict[int, float] = {}
     added = 0
     last_closed: Optional[int] = None
+    frames: list[dict] = []
+    watch_window: Optional[float] = None
     for rec in records:
         rec = dict(rec)
         t = rec["t"]
@@ -371,6 +375,11 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
         elif t == "tli":
             rec["t0"] = remap(rec["t0"])
             rec["t1"] = remap(rec["t1"])
+        elif t == "fr":
+            rec["tm"] = remap(rec["tm"])
+            frames.append(rec)
+        elif t == "wcfg":
+            watch_window = rec.get("win")
         elif t == "footer":
             if "virtual_end" in rec:
                 rec["virtual_end"] = remap(rec["virtual_end"])
@@ -390,4 +399,13 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
                 charge["nd"] = nodes[sid]
             out.append(charge)
             added += 1
+    if frames:
+        # Live-dashboard frames sit on the dilated timeline now: the
+        # watchdog verdicts and ETA projections must be recomputed, so a
+        # slowed journal trips STALLED exactly as a genuinely slow run
+        # would. (Frame dicts are shared with `out` — updated in place.)
+        from repro.obs.live import DEFAULT_WINDOW, refresh_frame_projections
+
+        window = DEFAULT_WINDOW if watch_window is None else watch_window
+        refresh_frame_projections(frames, window)
     return out

@@ -234,6 +234,22 @@ class MetricsRegistry:
         """Sum of a counter family over all label sets."""
         return sum(c.value for c in self._counters.get(name, {}).values())
 
+    def counter_values(self, name: str) -> dict[LabelKey, float]:
+        """Counter family as ``{label_key: value}`` in deterministic order."""
+        family = self._counters.get(name, {})
+        return {
+            key: c.value
+            for key, c in sorted(family.items(), key=lambda kv: repr(kv[0]))
+        }
+
+    def gauge_values(self, name: str) -> dict[LabelKey, float]:
+        """Gauge family as ``{label_key: value}`` in deterministic order."""
+        family = self._gauges.get(name, {})
+        return {
+            key: g.value
+            for key, g in sorted(family.items(), key=lambda kv: repr(kv[0]))
+        }
+
     def counter_by(self, name: str, label: str) -> dict[Any, float]:
         """Counter family aggregated by one label (missing label -> None)."""
         out: dict[Any, float] = {}

@@ -38,10 +38,22 @@ class FrozenClock:
 class ReplayedRun:
     """A journal folded back into a tracer, plus the run's metadata."""
 
-    def __init__(self, header: dict, footer: dict, tracer: Tracer):
+    def __init__(
+        self,
+        header: dict,
+        footer: dict,
+        tracer: Tracer,
+        frames: Optional[list[dict]] = None,
+        watch_config: Optional[dict] = None,
+    ):
         self.header = header
         self.footer = footer
         self.tracer = tracer
+        #: live-dashboard frames (``fr`` records, ``t`` key stripped) in
+        #: emission order — empty unless the run was watched
+        self.frames = frames or []
+        #: the run's ``wcfg`` record (interval/window), if watched
+        self.watch_config = watch_config
 
     @property
     def workload(self) -> Optional[str]:
@@ -93,6 +105,8 @@ def replay_records(records: list[dict]) -> ReplayedRun:
     tracer = Tracer(FrozenClock(footer.get("virtual_end", 0.0)), enabled=True)
     metrics = tracer.metrics
     spans: dict[int, Span] = {}
+    frames: list[dict] = []
+    watch_config: Optional[dict] = None
     next_id = 0
     for rec in events:
         t = rec["t"]
@@ -173,10 +187,16 @@ def replay_records(records: list[dict]) -> ReplayedRun:
                 rec["s"], rec["d"], rec["v"],
                 records=rec.get("r", 0), mode=rec["m"], partition=rec.get("p"),
             )
+        elif t == "fr":
+            frame = dict(rec)
+            frame.pop("t")
+            frames.append(frame)
+        elif t == "wcfg":
+            watch_config = {"interval": rec["iv"], "window": rec["win"]}
         else:
             raise JournalError(f"unexpected record type {t!r} mid-journal")
     tracer._next_id = next_id
-    return ReplayedRun(header, footer, tracer)
+    return ReplayedRun(header, footer, tracer, frames=frames, watch_config=watch_config)
 
 
 def replay_lines(lines) -> ReplayedRun:

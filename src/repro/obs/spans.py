@@ -212,6 +212,8 @@ class Tracer:
         #: per-job N×N exchange traffic matrices
         self._traffic: dict[str, TrafficMatrix] = {}
         self._next_id = 0
+        #: spans closed so far (cheap progress signal for the watchdog)
+        self.closed_spans = 0
 
     # -- spans -----------------------------------------------------------------
 
@@ -277,6 +279,7 @@ class Tracer:
             if span.args:
                 record["a"] = span.args
             self.journal.emit(record)
+        self.closed_spans += 1
         self.metrics.histogram("span.seconds", cat=span.cat).observe(span.duration)
 
     # -- causal edges ------------------------------------------------------------
@@ -370,6 +373,24 @@ class Tracer:
     def sample(self, name: str, value: float, **labels: Any) -> None:
         if self.enabled:
             self.metrics.series(name, **labels).append(self.sim.now, value)
+
+    # -- stage progress (live monitoring) ----------------------------------------
+
+    def progress_total(self, job: str, stage: str, amount: float = 1.0) -> None:
+        """Declare ``amount`` more units of work for ``job``/``stage``.
+
+        Engines call this when work becomes known (map splits planned,
+        flowlet instances dispatched); :mod:`repro.obs.live` divides the
+        matching ``progress.done`` counter by this gauge for per-stage
+        completion fractions.
+        """
+        if self.enabled:
+            self.metrics.gauge("progress.total", job=job, stage=stage).add(amount)
+
+    def progress_done(self, job: str, stage: str, amount: float = 1.0) -> None:
+        """Mark ``amount`` units of ``job``/``stage`` work complete."""
+        if self.enabled:
+            self.metrics.counter("progress.done", job=job, stage=stage).inc(amount)
 
     # -- export ------------------------------------------------------------------
 

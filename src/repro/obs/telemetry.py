@@ -209,6 +209,13 @@ class TimelineSampler:
     def capacity(self, track: str, node: int) -> Optional[float]:
         return self._capacity.get((track, node))
 
+    def level_total(self, track: str) -> float:
+        """Sum of a step track's *current* running levels over all nodes
+        (e.g. total flow-control inbox bytes right now)."""
+        return sum(
+            level for (t, _node), level in self._levels.items() if t == track
+        )
+
     def busy_seconds(self, track: str, node: int, t_end: Optional[float] = None) -> float:
         """Exact time-integral of a step track (e.g. CPU busy-slot seconds)."""
         end = self.sim.now if t_end is None else t_end

@@ -259,6 +259,10 @@ class Simulator:
         #: optional host-time profiler (duck-typed repro.obs.hostprof
         #: HostProfiler); attached externally, never imported here
         self.hostprof = None
+        #: optional progress observer (duck-typed repro.obs.live
+        #: LiveMonitor); ``tick(now)`` is called after each dispatched
+        #: event — read-only, it must never schedule events of its own
+        self.progress = None
 
     # -- public API ----------------------------------------------------------
 
@@ -314,6 +318,9 @@ class Simulator:
                 finally:
                     prof.pop()
                 prof.tick(self.now)
+            progress = self.progress
+            if progress is not None:
+                progress.tick(self.now)
             self._raise_unobserved_failure()
         if self._blocked:
             alive = ", ".join(sorted(p.name for p in self._blocked))
@@ -340,6 +347,9 @@ class Simulator:
             finally:
                 prof.pop()
             prof.tick(self.now)
+        progress = self.progress
+        if progress is not None:
+            progress.tick(self.now)
         self._raise_unobserved_failure()
         return True
 
