@@ -142,7 +142,7 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0, hostprof=None):
 
 def run_row(
     name: str, fidelity: str, engines: str = "both",
-    journal_stem: str | None = None,
+    journal_stem: str | None = None, fabric: str = "direct",
 ) -> dict:
     """Run one traced+profiled workload row and build its artifact entry.
 
@@ -150,6 +150,11 @@ def run_row(
     engine to ``<journal_stem>.<name>.<engine>.journal.jsonl`` (see
     :mod:`repro.obs.journal`) — replayable via
     ``python -m repro.evaluation replay`` with byte-identical output.
+
+    ``fabric`` selects the exchange fabric for both engines (fabric
+    sweeps); non-direct entries carry a ``"fabric"`` key so the diff
+    gate keys them as ``engine@fabric`` and never compares them against
+    a direct baseline row.
     """
     journal = None
     if journal_stem is not None:
@@ -158,7 +163,8 @@ def run_row(
         journal = lambda engine: JournalWriter(meta={"fidelity": fidelity})  # noqa: E731
     workload = workload_by_name(name, fidelity)
     row = run_workload(
-        workload, engines=engines, obs=True, profile=True, journal=journal
+        workload, engines=engines, obs=True, profile=True, journal=journal,
+        fabric=None if fabric == "direct" else fabric,
     )
     if journal_stem is not None:
         for engine, writer in (
@@ -184,6 +190,10 @@ def run_row(
             row.hadoop_obs, row.idh_seconds * factor, row.hadoop_wall_seconds,
             row.hadoop_hostprof,
         )
+    if fabric != "direct":
+        for engine in ("hamr", "hadoop"):
+            if engine in entry:
+                entry[engine]["fabric"] = fabric
     snaps = {}
     if row.hamr_hostprof is not None:
         snaps["hamr"] = {"hostprof": row.hamr_hostprof}
@@ -268,6 +278,13 @@ def main(argv=None) -> int:
         "--engines", default="both", choices=["both", "hamr", "hadoop"]
     )
     parser.add_argument(
+        "--fabric",
+        default="direct",
+        choices=["direct", "tree", "twolevel", "rdma"],
+        help="exchange fabric for both engines (fabric sweeps; non-direct "
+        "entries are keyed engine@fabric by the diff gate)",
+    )
+    parser.add_argument(
         "--out", default=str(_default_path()), help="artifact output path"
     )
     parser.add_argument(
@@ -307,7 +324,8 @@ def main(argv=None) -> int:
     for name in selected:
         print(f"  running {name} ({args.fidelity}, {args.engines}) ...", file=sys.stderr)
         rows[name] = run_row(
-            name, args.fidelity, args.engines, journal_stem=journal_stem
+            name, args.fidelity, args.engines, journal_stem=journal_stem,
+            fabric=args.fabric,
         )
     path = pathlib.Path(args.out)
     payload = build_payload(rows, args.fidelity)

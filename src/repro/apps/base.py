@@ -41,8 +41,28 @@ class AppEnv:
         obs: bool = False,
         journal=None,
         trace_max_records: Optional[int] = None,
+        fabric: Optional[str] = None,
+        partitioner: Optional[str] = None,
+        rack_size: Optional[int] = None,
     ):
         self.spec = spec if spec is not None else small_cluster_spec()
+        if rack_size is None and fabric == "twolevel" and self.spec.rack_size == 0:
+            # A rack-aware fabric on a rackless spec would silently route
+            # direct; default to four racks (the paper's 16-node testbed
+            # split 4x4, scaled down for smaller specs).
+            rack_size = max(1, self.spec.num_workers // 4)
+        if rack_size is not None:
+            self.spec = self.spec.with_racks(rack_size)
+        if fabric is not None:
+            hamr_config = hamr_config or HamrConfig()
+            hamr_config.fabric = fabric
+            hadoop_config = hadoop_config or HadoopConfig()
+            hadoop_config.fabric = fabric
+        if partitioner is not None:
+            hamr_config = hamr_config or HamrConfig()
+            hamr_config.partitioner = partitioner
+            hadoop_config = hadoop_config or HadoopConfig()
+            hadoop_config.partitioner = partitioner
         self.cluster = Cluster(
             self.spec, obs=obs, journal=journal,
             trace_max_records=trace_max_records,

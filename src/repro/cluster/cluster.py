@@ -50,10 +50,21 @@ class Cluster:
             )
             for node_id in range(spec.num_nodes)
         ]
+        #: shard-aware ownership override: worker indices (in partition
+        #: round-robin order) that own the shuffle key space; None keeps
+        #: the all-workers round-robin layout. Engines install this when
+        #: a shard-aware partitioner restricts ownership to the workers
+        #: actually holding input shards.
+        self.partition_owners: list[int] | None = None
+        racks = self.rack_assignment()
         self.network = Network(
-            self.sim, self.nodes, spec.cost, latency=spec.node.nic_latency
+            self.sim, self.nodes, spec.cost, latency=spec.node.nic_latency,
+            racks=racks,
         )
         self.resource_manager = ResourceManager(self.sim, self.nodes)
+        # Rack-aware traffic accounting: matrices created by the tracer
+        # split inter- vs intra-rack bytes when a topology is configured.
+        self.obs.racks = racks
         if obs:
             self._wire_telemetry()
 
@@ -137,10 +148,47 @@ class Cluster:
         return self.nodes[1 + index]
 
     def owner_of_partition(self, partition: int, num_partitions: int) -> Node:
-        """The worker that owns a shuffle partition (round-robin layout)."""
+        """The worker that owns a shuffle partition.
+
+        Round-robin over all workers by default; with shard-aware
+        ownership installed (``partition_owners``), round-robin over the
+        owning workers only — partitions land on nodes that already hold
+        input shards, which is what makes locality-first partitioning
+        cut remote exchange bytes.
+        """
         if not 0 <= partition < num_partitions:
             raise ValueError(f"partition {partition} out of range {num_partitions}")
+        owners = self.partition_owners
+        if owners:
+            return self.workers[owners[partition % len(owners)]]
         return self.workers[partition % self.num_workers]
+
+    # -- rack topology --------------------------------------------------------
+
+    @property
+    def rack_size(self) -> int:
+        return self.spec.rack_size
+
+    def topology(self):
+        """The worker-index rack :class:`~repro.dataplane.fabrics.Topology`."""
+        from repro.dataplane.fabrics import Topology
+
+        return Topology(self.num_workers, self.rack_size)
+
+    def rack_assignment(self) -> dict[int, int] | None:
+        """node-id → rack map, or None without rack structure.
+
+        The master is not in any worker rack (rack ``-1``): it holds no
+        shuffle partitions, so its (rare) control traffic never counts
+        as intra-rack locality.
+        """
+        if not 0 < self.rack_size < self.num_workers:
+            return None
+        topo = self.topology()
+        racks = {self.master.node_id: -1}
+        for index, worker in enumerate(self.workers):
+            racks[worker.node_id] = topo.rack_of(index)
+        return racks
 
     def default_partitioner(self, partitions_per_worker: int = 1) -> Partitioner:
         """A hash partitioner with one (or more) partitions per worker."""

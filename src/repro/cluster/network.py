@@ -23,15 +23,27 @@ _LOCAL_MEMCPY_BANDWIDTH = 8e9  # bytes/s
 class Network:
     """Routes byte transfers between nodes, charging NIC and latency costs."""
 
-    def __init__(self, sim: Simulator, nodes: list[Node], cost: CostModel, latency: float):
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: list[Node],
+        cost: CostModel,
+        latency: float,
+        racks: Dict[int, int] | None = None,
+    ):
         self.sim = sim
         self.nodes = nodes
         self.cost = cost
         self.latency = latency
+        #: optional node-id → rack map (rack-aware fabric experiments);
+        #: None means no rack structure and the rack counters stay 0
+        self.racks = racks
         # Metrics
         self.total_bytes = 0
         self.total_messages = 0
         self.pair_bytes: Dict[Tuple[int, int], int] = {}
+        self.inter_rack_bytes = 0
+        self.intra_rack_bytes = 0
 
     def send(self, src: Node, dst: Node, nbytes: float) -> SimEvent:
         """Deliver ``nbytes`` logical bytes from ``src`` to ``dst``.
@@ -43,6 +55,11 @@ class Network:
         self.total_bytes += int(scaled)
         key = (src.node_id, dst.node_id)
         self.pair_bytes[key] = self.pair_bytes.get(key, 0) + int(scaled)
+        if self.racks is not None and src.node_id != dst.node_id:
+            if self.racks.get(src.node_id) == self.racks.get(dst.node_id):
+                self.intra_rack_bytes += int(scaled)
+            else:
+                self.inter_rack_bytes += int(scaled)
 
         done = SimEvent(self.sim, name=f"net.{src.node_id}->{dst.node_id}")
         if src.node_id == dst.node_id:

@@ -143,10 +143,16 @@ class ClusterSpec:
     #: per-node-id spec overrides (heterogeneous clusters), e.g.
     #: ``{3: replace(spec.node, speed_factor=0.25)}`` for one straggler
     node_overrides: tuple = ()
+    #: rack topology metadata: workers ``[k*R, (k+1)*R)`` form rack ``k``.
+    #: 0 (the default) means no rack structure — rack-aware exchange
+    #: fabrics degrade to direct routing and nothing else changes.
+    rack_size: int = 0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise ConfigError("need at least a master and one worker")
+        if self.rack_size < 0:
+            raise ConfigError("rack_size must be >= 0")
         for node_id, _spec in self.node_overrides:
             if not 0 <= node_id < self.num_nodes:
                 raise ConfigError(f"node override for unknown node {node_id}")
@@ -166,6 +172,10 @@ class ClusterSpec:
 
     def with_scale(self, scale: float) -> "ClusterSpec":
         return replace(self, cost=self.cost.with_scale(scale))
+
+    def with_racks(self, rack_size: int) -> "ClusterSpec":
+        """The same cluster re-cabled into racks of ``rack_size`` workers."""
+        return replace(self, rack_size=rack_size)
 
 
 #: Table 1 of the paper, verbatim.

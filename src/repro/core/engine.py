@@ -26,6 +26,7 @@ from repro.core.graph import FlowletGraph
 from repro.core.runtime import NodeRuntime
 from repro.core.sources import SourceSplit
 from repro.dataplane import SpillPool
+from repro.dataplane.fabrics import ExchangeFabric, make_fabric
 from repro.obs import STARTUP
 from repro.storage.kvstore import KVStore
 from repro.storage.localfs import LocalFS
@@ -59,6 +60,14 @@ class HamrConfig:
     adaptive_loader_throttle: bool = False
     throttle_stall_threshold: int = 8
     throttle_backoff: float = 1.0
+    #: default exchange fabric for every edge (overridable per edge via
+    #: ``Edge.fabric``): direct | tree | twolevel | rdma — see
+    #: ``repro.dataplane.fabrics``
+    fabric: str = "direct"
+    #: shuffle-ownership strategy: "hash" (round-robin over all workers)
+    #: or "shard" (locality-first: partitions owned only by workers
+    #: holding input shards)
+    partitioner: str = "hash"
 
 
 @dataclass
@@ -106,6 +115,7 @@ class HamrEngine:
         }
         # Per-run state
         self.graph: Optional[FlowletGraph] = None
+        self._fabrics: dict[str, ExchangeFabric] = {}
         self.spill_pool: Optional[SpillPool] = None
         self.runtimes: list[NodeRuntime] = []
         self.metrics: dict[str, float] = {}
@@ -189,6 +199,11 @@ class HamrEngine:
             elif edge.partitioner.num_partitions < 1:  # pragma: no cover - guarded upstream
                 raise ConfigError("edge partitioner must have >= 1 partition")
         self._assign_splits(graph)
+        self._install_partition_owners()
+        # One fabric instance per (name, job run): combining fabrics
+        # (twolevel) keep per-run gateway state that must not leak
+        # across jobs.
+        self._fabrics = {}
         # One spill pool per job: every node's runtime draws its
         # SpillManager from here, sharing an id space with the baseline.
         self.spill_pool = SpillPool(job=graph.name)
@@ -204,7 +219,34 @@ class HamrEngine:
             for index, splits in enumerate(assignment):
                 self._split_assignment[(flowlet.name, index)] = splits
 
+    def _install_partition_owners(self) -> None:
+        """Shard-aware partitioning: restrict shuffle ownership to the
+        workers that actually hold input shards (locality-first), so
+        grouped state lands where its inputs already are. The default
+        "hash" strategy keeps the all-workers round-robin layout."""
+        if self.config.partitioner != "shard":
+            self.cluster.partition_owners = None
+            return
+        owners = sorted(
+            {
+                worker_index
+                for (_name, worker_index), splits in self._split_assignment.items()
+                if splits
+            }
+        )
+        self.cluster.partition_owners = owners or None
+
     # -- runtime callbacks ---------------------------------------------------------------
+
+    def fabric_for(self, edge) -> ExchangeFabric:
+        """The (cached) exchange fabric serving one edge this run."""
+        name = edge.fabric or self.config.fabric
+        fabric = self._fabrics.get(name)
+        if fabric is None:
+            fabric = self._fabrics[name] = make_fabric(
+                name, topology=self.cluster.topology()
+            )
+        return fabric
 
     def splits_for(self, flowlet: Flowlet, worker_index: int) -> list[SourceSplit]:
         return self._split_assignment.get((flowlet.name, worker_index), [])

@@ -46,6 +46,9 @@ class Edge:
     combiner: Optional[Combiner] = None
     #: inbound bin-queue capacity at each node, in modeled bytes (None = engine default)
     capacity: Optional[float] = None
+    #: exchange fabric for this edge (None = engine default; see
+    #: ``repro.dataplane.fabrics.FABRICS``)
+    fabric: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Edge {self.src.name}->{self.dst.name} {self.mode.value}>"
@@ -75,6 +78,7 @@ class FlowletGraph:
         partitioner: Optional[Partitioner] = None,
         combiner: Optional[Combiner] = None,
         capacity: Optional[float] = None,
+        fabric: Optional[str] = None,
     ) -> Edge:
         src_f = self._resolve(src)
         dst_f = self._resolve(dst)
@@ -82,7 +86,9 @@ class FlowletGraph:
             raise GraphError(f"loader {dst_f.name!r} cannot have inbound edges")
         if any(e.src is src_f and e.dst is dst_f for e in self._edges):
             raise GraphError(f"duplicate edge {src_f.name}->{dst_f.name}")
-        edge = Edge(len(self._edges), src_f, dst_f, mode, partitioner, combiner, capacity)
+        edge = Edge(
+            len(self._edges), src_f, dst_f, mode, partitioner, combiner, capacity, fabric
+        )
         self._edges.append(edge)
         return edge
 

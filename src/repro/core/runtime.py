@@ -32,7 +32,7 @@ from typing import Any, Optional, TYPE_CHECKING
 from repro.common.errors import JobError
 from repro.core.bins import Bin, BinPacker
 from repro.core.context import TaskContext
-from repro.dataplane import RecordBatch, chunk_records, exchange_targets, pair_nbytes, spill_batch
+from repro.dataplane import RecordBatch, chunk_records, pair_nbytes, spill_batch
 from repro.core.flowlet import Flowlet, FlowletKind, FlowletStatus, Loader, Map, PartialReduce, Reduce
 from repro.core.graph import Edge
 from repro.core.sources import SourceSplit
@@ -845,7 +845,8 @@ class NodeRuntime:
                 new_bin.append(key, value)
             bin_ = new_bin
         ship_div = self._divisor(bin_.aggregated)
-        targets = exchange_targets(
+        fabric = self.engine.fabric_for(edge)
+        plan = fabric.plan(
             edge.mode.value,
             bin_.partition,
             worker_index=self.worker_index,
@@ -855,24 +856,36 @@ class NodeRuntime:
                     p, edge.partitioner.num_partitions
                 )
             ),
-            traffic=obs.traffic(self.job or "") if obs.enabled else None,
-            src_node=node_id,
-            node_of=lambda w: self.engine.runtimes[w].node.node_id,
-            nbytes=self.cost.scaled_bytes(bin_.nbytes / ship_div),
+            nbytes=bin_.nbytes / ship_div,
             nrecords=bin_.nrecords,
+            records=bin_.pairs,
+            aggregated=bin_.aggregated,
+            stream=bin_.edge_id,
         )
-        # Serialization cost once (broadcast reuses the wire image).
-        t0 = sim.now
-        yield self.node.compute(self.cost.serde_cost(bin_.nbytes / ship_div))
         if obs.enabled:
-            obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=span)
+            # HAMR charges the exchange at plan time (the historical
+            # exchange_targets charge site), before serde.
+            fabric.charge(
+                plan,
+                obs.traffic(self.job or ""),
+                node_of=lambda w: self.engine.runtimes[w].node.node_id,
+                scale=self.cost.scaled_bytes,
+            )
+        # Serialization cost once (broadcast reuses the wire image).
+        if fabric.serde_factor:
+            t0 = sim.now
+            yield self.node.compute(
+                self.cost.serde_cost(bin_.nbytes / ship_div) * fabric.serde_factor
+            )
+            if obs.enabled:
+                obs.charge(self.job, COMPUTE, sim.now - t0, node=node_id, span=span)
         if self.engine.config.stage_edges_on_disk:
             t0 = sim.now
             yield self.node.disk_write(bin_.nbytes / ship_div)
             if obs.enabled:
                 obs.charge(self.job, DISK, sim.now - t0, node=node_id, span=span)
-        for target in targets:
-            dst_runtime = self.engine.runtimes[target]
+        for delivery in plan.deliveries:
+            dst_runtime = self.engine.runtimes[delivery.target]
             dst_instance = dst_runtime.instance(edge.dst.name)
             if self.engine.config.stage_edges_on_disk:
                 t0 = sim.now
@@ -891,9 +904,12 @@ class NodeRuntime:
                     ship_span, EDGE_PRODUCE,
                 )
                 t0 = sim.now
-                yield self.engine.cluster.network.send(
-                    self.node, dst_runtime.node, bin_.nbytes / ship_div
-                )
+                for hop in delivery.hops:
+                    yield self.engine.cluster.network.send(
+                        self.engine.runtimes[hop.src].node,
+                        self.engine.runtimes[hop.dst].node,
+                        hop.nbytes,
+                    )
                 if obs.enabled:
                     obs.charge(self.job, NETWORK, sim.now - t0, node=node_id, span=ship_span)
             if ship_span.span_id:

@@ -32,6 +32,13 @@ from repro.dataplane.exchange import (
     partition_batch,
     spill_batch,
 )
+from repro.dataplane.fabrics import (
+    FABRICS,
+    ExchangeFabric,
+    ExchangePlan,
+    Topology,
+    make_fabric,
+)
 
 __all__ = [
     "RecordBatch",
@@ -47,4 +54,9 @@ __all__ = [
     "LOCAL",
     "BROADCAST",
     "BROADCAST_PARTITION",
+    "FABRICS",
+    "ExchangeFabric",
+    "ExchangePlan",
+    "Topology",
+    "make_fabric",
 ]

@@ -41,6 +41,16 @@ Usage::
 Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
 (the human-readable report then goes nowhere — stdout carries only JSON).
 
+Every live-run subcommand (bench/report/timeline/profile/calibrate/
+journal/watch/slo and explain's workload:engine specs) accepts
+``--fabric {direct,tree,twolevel,rdma}``, ``--partitioner {hash,shard}``
+and ``--racks N`` to swap the exchange fabric, partition-ownership
+strategy and rack topology (DESIGN.md "Exchange fabrics"). The defaults
+reproduce the legacy direct path byte-identically; off-direct runs label
+engine columns ``engine@fabric`` and stamp the fabric into journals and
+JSON payloads so ``diff``/``explain`` never silently compare across
+fabrics.
+
 ``journal`` writes one durable JSONL run journal per workload × engine;
 ``replay`` reconstructs the live run's report/timeline/critical-path
 output **byte-identically** from a journal alone (no re-execution), and
@@ -120,6 +130,31 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=60,
         help="time bins per telemetry heatmap row for `timeline` (default 60)",
+    )
+    parser.add_argument(
+        "--fabric",
+        default="direct",
+        choices=["direct", "tree", "twolevel", "rdma"],
+        help="exchange fabric for live runs (bench/report/timeline/profile/"
+        "calibrate/journal/watch/slo); direct is the legacy byte-identical "
+        "path (see DESIGN.md)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=["hash", "shard"],
+        help="partition-ownership strategy: hash (owner = partition %% "
+        "workers) or shard (locality-first — owners are the nodes holding "
+        "input shards)",
+    )
+    parser.add_argument(
+        "--racks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the cluster's workers into N racks of contiguous "
+        "workers (twolevel defaults to 4 racks when unset; rack traffic "
+        "is then split into inter/intra-rack bytes)",
     )
     parser.add_argument(
         "--json", metavar="PATH",
@@ -231,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.racks is not None and args.racks <= 0:
+        print(
+            f"error: --racks must be positive (got {args.racks})",
+            file=sys.stderr,
+        )
+        return 2
     if args.artifact == "report":
         if args.workload == "all":
             parser.error("report supports a single --workload (not `all`)")
@@ -270,11 +311,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact == "bench":
         if not args.name:
             parser.error("bench requires a benchmark name " f"(one of {TABLE2_ORDER})")
-        row = run_workload(workload_by_name(args.name, args.fidelity))
+        workload = workload_by_name(args.name, args.fidelity)
+        row = run_workload(workload, **_fabric_opts(args, workload))
+        suffix = "" if args.fabric == "direct" else f" [{args.fabric} fabric]"
         print(
             f"{row.label} ({row.data_size}): IDH {row.idh_seconds:.3f}s, "
             f"HAMR {row.hamr_seconds:.3f}s, speedup {row.speedup:.2f}x "
-            f"(paper {row.paper.speedup:.2f}x)"
+            f"(paper {row.paper.speedup:.2f}x){suffix}"
         )
         return 0
 
@@ -335,6 +378,31 @@ def _expand_filters(args):
     workloads = list(TABLE2_ORDER) if args.workload == "all" else [args.workload]
     engines = ["hamr", "hadoop"] if args.engine == "both" else [args.engine]
     return workloads, engines
+
+
+def _fabric_opts(args, workload) -> dict:
+    """run_workload kwargs for the ``--fabric``/``--partitioner``/``--racks``
+    flags.
+
+    ``--racks N`` counts *racks*; it is converted to workers-per-rack
+    against the workload's cluster spec (contiguous worker groups, the
+    paper's 16-node testbed split N ways). The defaults map to ``None``
+    so the flagless path stays byte-identical to the legacy wiring.
+    """
+    rack_size = None
+    if args.racks is not None:
+        rack_size = max(1, workload.spec().num_workers // args.racks)
+    return {
+        "fabric": None if args.fabric == "direct" else args.fabric,
+        "partitioner": None if args.partitioner == "hash" else args.partitioner,
+        "rack_size": rack_size,
+    }
+
+
+def _engine_label(engine: str, fabric: str) -> str:
+    """Display label for an engine column: ``engine@fabric`` off-direct,
+    matching :meth:`repro.obs.replay.ReplayedRun.title`."""
+    return engine if fabric == "direct" else f"{engine}@{fabric}"
 
 
 def _engine_column(row, engine: str, attr: str):
@@ -423,11 +491,13 @@ def _journal(args) -> int:
     for name in workloads:
         if len(workloads) > 1:
             print(f"  running {name} ...", file=sys.stderr, flush=True)
+        workload = workload_by_name(name, args.fidelity)
         row = run_workload(
-            workload_by_name(name, args.fidelity),
+            workload,
             engines=args.engine,
             journal=lambda engine: JournalWriter(meta={"fidelity": args.fidelity}),
             trace_max_records=args.trace_max_records,
+            **_fabric_opts(args, workload),
         )
         for engine in engines:
             writer = _engine_column(row, engine, "journal")
@@ -510,12 +580,14 @@ def _watch(args) -> int:
                 tracer, config=config, slo=spec_for(workload, engine, overrides)
             )
 
+        workload = workload_by_name(name, args.fidelity)
         row = run_workload(
-            workload_by_name(name, args.fidelity),
+            workload,
             engines=args.engine,
             journal=lambda engine: JournalWriter(meta={"fidelity": args.fidelity}),
             watch=_monitor,
             trace_max_records=args.trace_max_records,
+            **_fabric_opts(args, workload),
         )
         for engine in engines:
             monitor = _engine_column(row, engine, "watch")
@@ -536,7 +608,8 @@ def _watch(args) -> int:
                 ]
                 makespan = records[-1].get("makespan", makespan)
             if args.json != "-":
-                title = f"{row.label} ({row.data_size}) on {engine}"
+                label = _engine_label(engine, args.fabric)
+                title = f"{row.label} ({row.data_size}) on {label}"
                 print(render_watch(title, (config.interval, config.window), frames))
                 print()
             exported.setdefault(name, {})[engine] = {
@@ -561,6 +634,8 @@ def _watch(args) -> int:
             "fidelity": args.fidelity,
             "workloads": exported,
         }
+        if args.fabric != "direct":
+            payload["fabric"] = args.fabric
         _emit_json(args.json, payload)
     return 0
 
@@ -633,11 +708,13 @@ def _slo(args) -> int:
         for name in workloads:
             if len(workloads) > 1:
                 print(f"  running {name} ...", file=sys.stderr, flush=True)
+            workload = workload_by_name(name, args.fidelity)
             row = run_workload(
-                workload_by_name(name, args.fidelity),
+                workload,
                 engines=args.engine,
                 obs=True,
                 trace_max_records=args.trace_max_records,
+                **_fabric_opts(args, workload),
             )
             for engine in engines:
                 _warn_dropped(
@@ -737,6 +814,8 @@ def _replay(args) -> int:
                     )
                 },
             }
+            if run.fabric != "direct":
+                payload["fabric"] = run.fabric
             _emit_json(args.json, payload)
     elif args.view == "timeline":
         from repro.evaluation.telemetryreport import (
@@ -760,6 +839,8 @@ def _replay(args) -> int:
                     }
                 },
             }
+            if run.fabric != "direct":
+                payload["fabric"] = run.fabric
             _emit_json(args.json, payload)
     elif args.view == "watch":
         from repro.obs.live import (
@@ -779,7 +860,8 @@ def _replay(args) -> int:
         config = run.watch_config or {}
         interval = config.get("interval", 0.0)
         window = config.get("window", 0.0)
-        title = f"{run.label} ({run.data_size}) on {run.engine}"
+        label = _engine_label(run.engine, run.fabric)
+        title = f"{run.label} ({run.data_size}) on {label}"
         if args.json != "-":
             print(render_watch(title, (interval, window), run.frames))
             print()
@@ -805,6 +887,8 @@ def _replay(args) -> int:
                     }
                 },
             }
+            if run.fabric != "direct":
+                payload["fabric"] = run.fabric
             _emit_json(args.json, payload)
     else:  # critpath
         from repro.obs.critpath import from_tracer, render_critpath
@@ -856,6 +940,7 @@ def _explain_side(ref: str, args):
                 ("workload", run.workload),
                 ("engine", run.engine),
                 ("fidelity", run.fidelity),
+                ("fabric", run.fabric if run.fabric != "direct" else None),
                 ("seeded_slowdown", run.footer.get("seeded_slowdown")),
             )
             if v is not None
@@ -870,21 +955,23 @@ def _explain_side(ref: str, args):
             file=sys.stderr,
         )
         return 2
+    wl = workload_by_name(workload, args.fidelity)
     row = run_workload(
-        workload_by_name(workload, args.fidelity),
+        wl,
         engines=engine,
         obs=True,
         trace_max_records=args.trace_max_records,
+        **_fabric_opts(args, workload=wl),
     )
     tracer = row.hamr_obs if engine == "hamr" else row.hadoop_obs
     dropped = (
         row.hamr_trace_dropped if engine == "hamr" else row.hadoop_trace_dropped
     )
     _warn_dropped(dropped, ref)
-    return side_from_tracer(
-        tracer, ref,
-        meta={"workload": workload, "engine": engine, "fidelity": args.fidelity},
-    )
+    meta = {"workload": workload, "engine": engine, "fidelity": args.fidelity}
+    if args.fabric != "direct":
+        meta["fabric"] = args.fabric
+    return side_from_tracer(tracer, ref, meta=meta)
 
 
 def _explain(args) -> int:
@@ -922,9 +1009,11 @@ def _timeline(args) -> int:
     for name in workloads:
         if len(workloads) > 1:
             print(f"  running {name} ...", file=sys.stderr, flush=True)
+        workload = workload_by_name(name, args.fidelity)
         row = run_workload(
-            workload_by_name(name, args.fidelity), engines=args.engine, obs=True,
+            workload, engines=args.engine, obs=True,
             trace_max_records=args.trace_max_records,
+            **_fabric_opts(args, workload),
         )
         traced = [
             (engine, tracer)
@@ -943,10 +1032,11 @@ def _timeline(args) -> int:
         for engine, tracer in traced:
             makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
             if args.json != "-":
+                label = _engine_label(engine, args.fabric)
                 print(
                     render_telemetry(
                         tracer,
-                        title=f"== {row.label} ({row.data_size}) on {engine} — "
+                        title=f"== {row.label} ({row.data_size}) on {label} — "
                         f"makespan {makespan:.3f}s ==",
                         bins=args.bins,
                     )
@@ -963,6 +1053,8 @@ def _timeline(args) -> int:
             "fidelity": args.fidelity,
             "workloads": exported,
         }
+        if args.fabric != "direct":
+            payload["fabric"] = args.fabric
         _emit_json(args.json, payload)
     if args.chrome and chrome_pick is not None:
         workload, engine, tracer = chrome_pick
@@ -979,9 +1071,11 @@ def _report(args) -> int:
     filters = _expand_filters(args)
     if isinstance(filters, int):
         return filters
+    workload = workload_by_name(args.workload, args.fidelity)
     row = run_workload(
-        workload_by_name(args.workload, args.fidelity), engines=args.engine,
+        workload, engines=args.engine,
         obs=True, trace_max_records=args.trace_max_records,
+        **_fabric_opts(args, workload),
     )
     traced = [
         (engine, tracer)
@@ -1000,10 +1094,11 @@ def _report(args) -> int:
     for engine, tracer in traced:
         makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
         if args.json != "-":
+            label = _engine_label(engine, args.fabric)
             print(
                 render_report(
                     tracer,
-                    title=f"== {row.label} ({row.data_size}) on {engine} — "
+                    title=f"== {row.label} ({row.data_size}) on {label} — "
                     f"makespan {makespan:.3f}s ==",
                     trace_dropped=_engine_column(row, engine, "trace_dropped"),
                 )
@@ -1023,6 +1118,8 @@ def _report(args) -> int:
                 for engine, tracer in traced
             },
         }
+        if args.fabric != "direct":
+            payload["fabric"] = args.fabric
         _emit_json(args.json, payload)
     if args.chrome:
         # one merged trace file; engines run on separate virtual clusters,
@@ -1042,11 +1139,13 @@ def _run_profiled(args, workloads: list[str]):
     for name in workloads:
         if len(workloads) > 1:
             print(f"  running {name} ...", file=sys.stderr, flush=True)
+        workload = workload_by_name(name, args.fidelity)
         row = run_workload(
-            workload_by_name(name, args.fidelity),
+            workload,
             engines=args.engine,
             obs=True,
             profile=True,
+            **_fabric_opts(args, workload),
         )
         traced = [
             (engine, tracer, snap)
@@ -1082,10 +1181,11 @@ def _profile(args) -> int:
             makespan = row.hamr_seconds if engine == "hamr" else row.idh_seconds
             fid = fidelity_dict(tracer, snap, name, engine)
             if args.json != "-":
+                label = _engine_label(engine, args.fabric)
                 print(
                     render_hostprof(
                         snap,
-                        title=f"== {row.label} ({row.data_size}) on {engine} — "
+                        title=f"== {row.label} ({row.data_size}) on {label} — "
                         f"virtual makespan {makespan:.3f}s, "
                         f"host {snap['total_ns'] / 1e6:.1f}ms ==",
                     )

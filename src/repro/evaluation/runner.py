@@ -74,6 +74,9 @@ def run_workload(
     journal=None,
     watch=None,
     trace_max_records: Optional[int] = None,
+    fabric: Optional[str] = None,
+    partitioner: Optional[str] = None,
+    rack_size: Optional[int] = None,
 ) -> BenchmarkRow:
     """Run a workload on fresh environments and assemble its row.
 
@@ -140,9 +143,12 @@ def run_workload(
                 label=workload.label,
                 data_size=workload.data_size,
                 engine=engine,
+                fabric=fabric or "direct",
+                partitioner=partitioner or "hash",
             )
         env = workload.fresh_env(
-            obs=obs, journal=writer, trace_max_records=trace_max_records
+            obs=obs, journal=writer, trace_max_records=trace_max_records,
+            fabric=fabric, partitioner=partitioner, rack_size=rack_size,
         )
         monitor = None
         if watch is not None and watch is not False:

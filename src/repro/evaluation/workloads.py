@@ -52,11 +52,18 @@ class Workload:
         return paper_cluster_spec(scale=self.scale)
 
     def fresh_env(
-        self, obs: bool = False, journal=None, trace_max_records=None
+        self,
+        obs: bool = False,
+        journal=None,
+        trace_max_records=None,
+        fabric=None,
+        partitioner=None,
+        rack_size=None,
     ) -> AppEnv:
         return AppEnv(
             self.spec(), obs=obs, journal=journal,
             trace_max_records=trace_max_records,
+            fabric=fabric, partitioner=partitioner, rack_size=rack_size,
         )
 
 

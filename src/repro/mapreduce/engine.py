@@ -28,6 +28,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.memory import MemoryAccount
 from repro.cluster.placement import assign_splits
 from repro.dataplane import RecordBatch, SpillPool, partition_batch, spill_batch
+from repro.dataplane.fabrics import make_fabric
 from repro.mapreduce.api import MRContext, MRJob
 from repro.obs import COMPUTE, DISK, EDGE_BARRIER, EDGE_SHUFFLE, NETWORK, STARTUP
 from repro.obs import hostprof as _hostprof
@@ -57,6 +58,13 @@ class HadoopConfig:
     #: ``speculation_slowdown`` x the median duration; first finisher wins
     speculative_execution: bool = False
     speculation_slowdown: float = 1.5
+    #: exchange fabric for the shuffle (reduce-fetch) leg: direct | tree |
+    #: twolevel | rdma — see ``repro.dataplane.fabrics``
+    fabric: str = "direct"
+    #: shuffle-ownership strategy: "hash" (reducers round-robin over all
+    #: workers) or "shard" (locality-first: reducers placed only on
+    #: workers holding input shards)
+    partitioner: str = "hash"
 
 
 @dataclass
@@ -109,6 +117,9 @@ class HadoopEngine:
         self.config = config or HadoopConfig()
         self.num_workers = cluster.num_workers
         self.obs = cluster.obs
+        self._worker_index = {
+            worker.node_id: index for index, worker in enumerate(cluster.workers)
+        }
         self._job_seq = 0
 
     # -- public API ---------------------------------------------------------------
@@ -180,6 +191,7 @@ class HadoopEngine:
 
         # -- map wave ---------------------------------------------------------------
         assignment = assign_splits(self.cluster, splits)
+        self._install_partition_owners(assignment)
         map_outputs: list[_MapOutput] = []
         map_records: list[dict] = []  # for the speculation driver
         map_processes = []
@@ -222,14 +234,20 @@ class HadoopEngine:
         # SpillManager (matching the flowlet runtime), so spill-run ids
         # and blame attribution line up across the two engines.
         spill_pool = SpillPool(job=job.name)
+        fabric = make_fabric(self.config.fabric, topology=self.cluster.topology())
         reduce_processes = []
         for r in range(num_reducers):
-            worker_index = r % self.num_workers
-            node = self.cluster.worker(worker_index)
+            # Place reducer r with the cluster's partition-ownership
+            # resolver (the same one HAMR shuffles against), so a
+            # shard-aware partitioner reroutes the reducer — and its
+            # spill_pool.for_node manager — to the owning node.
+            node = self.cluster.owner_of_partition(r, num_reducers)
+            worker_index = self._worker_index[node.node_id]
             reduce_processes.append(
                 sim.spawn(
                     self._reduce_task(
-                        job, r, node, slots[worker_index], map_outputs, spill_pool, state
+                        job, r, node, slots[worker_index], map_outputs,
+                        spill_pool, fabric, state,
                     ),
                     name=f"{job.name}.reduce{r}",
                 )
@@ -242,6 +260,18 @@ class HadoopEngine:
         for backup in state["backups"]:
             yield backup
         self.dfs.concat(job.output_file, part_names)
+
+    def _install_partition_owners(self, assignment) -> None:
+        """Shard-aware partitioning: restrict reducer placement to the
+        workers that hold input shards (mirrors the flowlet engine's
+        owner installation, so both engines shuffle to the same nodes)."""
+        if self.config.partitioner != "shard":
+            self.cluster.partition_owners = None
+            return
+        owners = sorted(
+            index for index, splits in enumerate(assignment) if splits
+        )
+        self.cluster.partition_owners = owners or None
 
     # -- map task -------------------------------------------------------------------------
 
@@ -456,11 +486,13 @@ class HadoopEngine:
         slot: Resource,
         map_outputs: list,
         spill_pool: SpillPool,
+        fabric,
         state: dict,
     ):
         sim = self.cluster.sim
         cost = self.cost
         obs = self.obs
+        dst_index = self._worker_index[node.node_id]
         yield slot.acquire()
         try:
             with obs.span("reduce", "task", node=node.node_id, job=job.name, reducer=r) as rspan:
@@ -488,6 +520,18 @@ class HadoopEngine:
                     if not segment:
                         continue
                     nbytes = segment.nbytes / (cost.scale if out.aggregated else 1.0)
+                    plan = fabric.plan(
+                        "shuffle",
+                        r,
+                        worker_index=self._worker_index[out.node.node_id],
+                        num_workers=self.num_workers,
+                        owner_of=lambda p: dst_index,
+                        nbytes=nbytes,
+                        nrecords=segment.nrecords,
+                        records=segment.records,
+                        aggregated=out.aggregated,
+                        stream=f"{job.name}:shuffle",
+                    )
                     with obs.span(
                         "fetch", "shuffle", node=node.node_id, job=job.name,
                         src_node=out.node.node_id, nbytes=int(nbytes), parent=rspan,
@@ -496,20 +540,25 @@ class HadoopEngine:
                         t0 = sim.now
                         yield out.node.disk_read(nbytes)
                         t1 = sim.now
-                        yield self.cluster.network.send(out.node, node, nbytes)
+                        for delivery in plan.deliveries:
+                            for hop in delivery.hops:
+                                yield self.cluster.network.send(
+                                    self.cluster.worker(hop.src),
+                                    self.cluster.worker(hop.dst),
+                                    hop.nbytes,
+                                )
                         if obs.enabled:
                             obs.charge(job.name, DISK, t1 - t0, node=node.node_id, span=fspan)
                             obs.charge(job.name, NETWORK, sim.now - t1, node=node.node_id, span=fspan)
                             # The pull-based fetch is Hadoop's exchange
-                            # site — charge the traffic matrix here, in
-                            # the same modeled wire bytes as HAMR's ship.
-                            obs.traffic(job.name).charge(
-                                out.node.node_id,
-                                node.node_id,
-                                cost.scaled_bytes(nbytes),
-                                records=segment.nrecords,
-                                mode="shuffle",
-                                partition=r,
+                            # site — charge the traffic matrix here,
+                            # after the fetch lands, in the same modeled
+                            # wire bytes as HAMR's ship.
+                            fabric.charge(
+                                plan,
+                                obs.traffic(job.name),
+                                node_of=lambda w: self.cluster.worker(w).node_id,
+                                scale=cost.scaled_bytes,
                             )
                     # The reduce barrier waits on every fetch.
                     obs.edge(fspan, rspan, EDGE_BARRIER)

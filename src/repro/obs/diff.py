@@ -63,9 +63,13 @@ def normalize(artifact: dict, source: str = "<artifact>") -> dict:
                 entry = row.get(engine)
                 if entry is None:
                     continue
+                # Non-direct runs are keyed engine@fabric so a fabric
+                # sweep never gates against a direct baseline row.
+                fabric = entry.get("fabric")
+                key = f"{engine}@{fabric}" if fabric and fabric != "direct" else engine
                 traffic = entry.get("telemetry", {}).get("traffic")
                 host_shares = entry.get("hostprof", {}).get("shares")
-                engines[engine] = EngineRecord(
+                engines[key] = EngineRecord(
                     virtual_seconds=entry["virtual_seconds"],
                     blame=dict(entry.get("blame", {})),
                     critpath=dict(entry["critpath"])

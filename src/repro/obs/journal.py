@@ -65,7 +65,13 @@ from typing import Any, Callable, Iterable, Optional, TextIO
 
 from repro.obs.blame import BUCKETS
 
-JOURNAL_SCHEMA = "repro.obs.journal/v1"
+#: current schema: v2 headers carry the run's exchange ``fabric`` and
+#: shuffle ``partitioner`` so replay/diff label cross-fabric comparisons
+JOURNAL_SCHEMA = "repro.obs.journal/v2"
+
+#: schemas this reader accepts (v1 journals predate exchange fabrics and
+#: replay under the implicit fabric="direct" / partitioner="hash")
+JOURNAL_SCHEMAS = ("repro.obs.journal/v1", JOURNAL_SCHEMA)
 
 #: record types, for validation
 RECORD_TYPES = (
@@ -230,9 +236,9 @@ def read_journal(lines: Iterable[str]) -> list[dict]:
     if header.get("t") != "header":
         raise JournalError("journal does not start with a header record")
     schema = header.get("schema", "")
-    if schema != JOURNAL_SCHEMA:
+    if schema not in JOURNAL_SCHEMAS:
         raise JournalError(
-            f"unsupported journal schema {schema!r} (expected {JOURNAL_SCHEMA})"
+            f"unsupported journal schema {schema!r} (expected one of {JOURNAL_SCHEMAS})"
         )
     if records[-1].get("t") != "footer":
         raise JournalError("journal has no footer record (truncated run?)")

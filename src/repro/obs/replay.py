@@ -76,6 +76,15 @@ class ReplayedRun:
         return self.header.get("fidelity")
 
     @property
+    def fabric(self) -> str:
+        """The run's exchange fabric (v1 journals predate fabrics: direct)."""
+        return self.header.get("fabric", "direct")
+
+    @property
+    def partitioner(self) -> str:
+        return self.header.get("partitioner", "hash")
+
+    @property
     def makespan(self) -> float:
         return self.footer.get("makespan", 0.0)
 
@@ -93,8 +102,11 @@ class ReplayedRun:
 
     def title(self) -> str:
         """The live CLI's report/timeline heading for this run."""
+        engine = self.engine
+        if self.fabric != "direct":
+            engine = f"{engine}@{self.fabric}"
         return (
-            f"== {self.label} ({self.data_size}) on {self.engine} — "
+            f"== {self.label} ({self.data_size}) on {engine} — "
             f"makespan {self.makespan:.3f}s =="
         )
 
@@ -181,6 +193,10 @@ def replay_records(records: list[dict]) -> ReplayedRun:
             else:
                 raise JournalError(f"unknown capacity op {rec['op']!r}")
         elif t == "tm":
+            rk = rec.get("rk")
+            tracer.racks = (
+                {int(node): rack for node, rack in rk.items()} if rk else None
+            )
             tracer.traffic(rec["j"])
         elif t == "x":
             tracer.traffic(rec["j"]).charge(

@@ -211,6 +211,10 @@ class Tracer:
         self.timeline = TimelineSampler(sim, enabled, journal=journal)
         #: per-job N×N exchange traffic matrices
         self._traffic: dict[str, TrafficMatrix] = {}
+        #: optional node-id → rack map (set by the cluster when a rack
+        #: topology is configured); matrices created after this is set
+        #: gate inter-rack bytes in their totals
+        self.racks: Optional[dict[int, int]] = None
         self._next_id = 0
         #: spans closed so far (cheap progress signal for the watchdog)
         self.closed_spans = 0
@@ -343,9 +347,17 @@ class Tracer:
             if self.journal is not None:
                 # Declare creation: a matrix that is never charged still
                 # appears (empty) in live exports, so replay must create
-                # it at the same point.
-                self.journal.emit({"t": "tm", "j": job})
-            matrix = self._traffic[job] = TrafficMatrix(job, journal=self.journal)
+                # it at the same point. The rack map rides along so a
+                # replayed matrix gates the same inter-rack totals.
+                record: dict[str, Any] = {"t": "tm", "j": job}
+                if self.racks:
+                    record["rk"] = {
+                        str(node): rack for node, rack in sorted(self.racks.items())
+                    }
+                self.journal.emit(record)
+            matrix = self._traffic[job] = TrafficMatrix(
+                job, journal=self.journal, racks=self.racks
+            )
         return matrix
 
     def traffic_matrices(self) -> list[TrafficMatrix]:

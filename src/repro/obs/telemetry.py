@@ -326,9 +326,14 @@ class TrafficMatrix:
     per-partition bytes/records for skew analysis.
     """
 
-    def __init__(self, job: Optional[str] = None, journal=None):
+    def __init__(self, job: Optional[str] = None, journal=None, racks=None):
         self.job = job or ""
         self._journal = journal
+        #: optional node-id → rack map: with rack structure configured,
+        #: ``totals()`` additionally gates ``inter_rack_bytes`` (the
+        #: number rack-aware fabrics exist to shrink). None — the
+        #: default — keeps the drift-gated key set exactly as before.
+        self.racks = racks
         #: (src, dst) -> [bytes, payloads, records]
         self._edges: dict[tuple[int, int], list[float]] = {}
         #: mode -> [bytes, payloads]
@@ -393,6 +398,18 @@ class TrafficMatrix:
         return sum(e[0] for (s, d), e in self._edges.items() if s != d)
 
     @property
+    def inter_rack_bytes(self) -> float:
+        """Bytes that crossed a rack boundary (0.0 without rack structure)."""
+        racks = self.racks
+        if not racks:
+            return 0.0
+        return sum(
+            e[0]
+            for (s, d), e in self._edges.items()
+            if s != d and racks.get(s) != racks.get(d)
+        )
+
+    @property
     def payloads(self) -> int:
         return int(sum(e[1] for e in self._edges.values()))
 
@@ -419,6 +436,10 @@ class TrafficMatrix:
         }
         for mode in MODES:
             out[f"{mode}_bytes"] = self.mode_bytes(mode)
+        if self.racks:
+            # Only under a configured rack topology: the default key set
+            # (and hence the committed bench artifacts) is unchanged.
+            out["inter_rack_bytes"] = self.inter_rack_bytes
         return {key: round(value, 6) for key, value in out.items()}
 
     def to_dict(self) -> dict:

@@ -35,10 +35,10 @@ def _sampler(enabled=True):
     return TimelineSampler(Simulator(), enabled=enabled)
 
 
-def _run_traced(engine="hamr", seed=0, target_bytes=50_000, profile=False):
+def _run_traced(engine="hamr", seed=0, target_bytes=50_000, profile=False, fabric=None):
     params = wordcount.WordCountParams(target_bytes=target_bytes, seed=seed)
     records = wordcount.generate_input(params)
-    env = AppEnv(small_cluster_spec(num_workers=3), obs=True)
+    env = AppEnv(small_cluster_spec(num_workers=3), obs=True, fabric=fabric)
     runner = wordcount.run_hamr if engine == "hamr" else wordcount.run_hadoop
     if profile:
         from repro.obs.hostprof import HostProfiler
@@ -329,6 +329,16 @@ class TestTelemetryDeterminism:
         env2, _ = _run_traced("hadoop")
         j1 = telemetry_json(env1.obs, "wordcount", "hadoop")
         j2 = telemetry_json(env2.obs, "wordcount", "hadoop")
+        assert j1 == j2
+
+    @pytest.mark.parametrize("engine", ["hamr", "hadoop"])
+    def test_two_runs_byte_identical_twolevel_fabric(self, engine):
+        # the rack-aware fabric (racked topology, combining gateways,
+        # rerouted hops) must be as deterministic as the direct path
+        env1, _ = _run_traced(engine, fabric="twolevel")
+        env2, _ = _run_traced(engine, fabric="twolevel")
+        j1 = telemetry_json(env1.obs, "wordcount", engine)
+        j2 = telemetry_json(env2.obs, "wordcount", engine)
         assert j1 == j2
 
     def test_chrome_counter_events_deterministic(self):
