@@ -56,6 +56,7 @@ from repro.common.sizeof import logical_sizeof, pair_size
 from repro.dataplane.exchange import (
     BROADCAST,
     BROADCAST_PARTITION,
+    LOCAL,
     SHUFFLE,
     exchange_targets,
     partition_batch,
@@ -73,6 +74,7 @@ __all__ = [
     "TwoLevelFabric",
     "RdmaFabric",
     "make_fabric",
+    "reroute_payload",
 ]
 
 #: selectable fabric names, in documentation order
@@ -462,3 +464,57 @@ def make_fabric(name: str, topology: Optional[Topology] = None) -> ExchangeFabri
     if cls is None:
         raise ValueError(f"unknown exchange fabric {name!r}; pick from {FABRICS}")
     return cls(topology)
+
+
+def reroute_payload(
+    fabric: ExchangeFabric,
+    *,
+    mode: str,
+    src: int,
+    num_workers: int,
+    nbytes: float,
+    partition: int = 0,
+    target: Optional[int] = None,
+) -> ExchangePlan:
+    """Re-price one *historical* payload under a candidate fabric.
+
+    This is the fabric layer's offline costing surface for the what-if
+    engine: given a payload observed in a finished run's traffic matrix
+    (its mode, source worker, byte size, and — for shuffles — the
+    destination worker it actually reached), return the
+    :class:`ExchangePlan` the candidate fabric would have produced, hop
+    by hop, without executing anything. Shuffle and local payloads pin
+    the historical destination via a constant ``owner_of``; broadcast
+    payloads reconstruct the full fan-out from ``num_workers``.
+
+    Limitations, by construction: the payload's key-value records are
+    gone (journals keep bytes, not data), so a combining fabric prices
+    the inter-rack hop at the full payload bytes — re-priced ``twolevel``
+    plans are an upper bound on its wire bytes and callers should treat
+    the combining savings as unmodelable offline.
+    """
+    if mode not in (SHUFFLE, LOCAL, BROADCAST):
+        raise ValueError(f"unknown exchange mode {mode!r}")
+    if mode == SHUFFLE:
+        if target is None:
+            raise ValueError("rerouting a shuffle payload requires its target")
+        owner_of = lambda _p, _t=target: _t  # noqa: E731 - constant resolver
+        return fabric.plan(
+            SHUFFLE,
+            partition,
+            worker_index=src,
+            num_workers=num_workers,
+            owner_of=owner_of,
+            nbytes=nbytes,
+        )
+    if mode == LOCAL:
+        return fabric.plan(
+            LOCAL, partition, worker_index=src, num_workers=num_workers, nbytes=nbytes
+        )
+    return fabric.plan(
+        BROADCAST,
+        BROADCAST_PARTITION,
+        worker_index=src,
+        num_workers=num_workers,
+        nbytes=nbytes,
+    )

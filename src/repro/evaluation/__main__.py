@@ -36,7 +36,14 @@ Usage::
                                       [--slo-spec spec.json] [--json slo.json]
     python -m repro.evaluation trend [BENCH_history.jsonl]
                                       [--metric virtual_seconds]
+                                      [--window N]
                                       [--fail-on-shift] [--json trend.json]
+    python -m repro.evaluation whatif <journal | workload:engine>
+                                      [--scenario net=2.0,disk=0.5,nodes=16]
+                                      [--sweep nodes=4..32]
+                                      [--execute | --validate] [--max-error F]
+                                      [--emit-journal PATH] [--allow-partial]
+                                      [--json whatif.json]
 
 Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
 (the human-readable report then goes nowhere — stdout carries only JSON).
@@ -59,6 +66,27 @@ buckets, operators and nodes along the differential critical path. With
 ``REPRO_OBS_SLOWDOWN=<bucket>=<factor>`` set, ``journal`` additionally
 dilates the written journals into a seeded synthetic regression (the
 ``explain`` self-test in CI).
+
+Journal paths ending in ``.gz`` are transparently gzip-compressed (same
+canonical encoding; ``replay`` output stays byte-identical either way),
+and a journal whose run died before the footer was written is rejected
+with exit code 2 unless ``--allow-partial`` reconstructs a best-effort
+footer up to the last complete event.
+
+``whatif`` is the counterfactual capacity-planning engine
+(:mod:`repro.obs.whatif`): it loads a run journal (or runs
+``workload:engine`` live first), applies a declarative scenario — bucket
+speed multipliers (``disk=0.5`` = disk at half speed; aliases
+``net``/``cpu``/``io``), ``serde=S``, ``nodes=N`` cluster rescaling,
+``fabric=NAME``/``racks=N`` swaps — and reports the predicted makespan
+with optimistic/pessimistic bounds. ``--sweep nodes=4..32`` predicts a
+capacity curve; ``--execute`` re-runs the one requested scenario for
+real and reports the prediction error; ``--validate`` runs the whole
+executable validation matrix (identity + bucket dilations + node
+rescales + fabric swaps) and ``--max-error F`` turns the worst absolute
+error into an exit-1 gate. Bucket-only scenarios are **exact**:
+``--emit-journal`` writes the dilated journal, byte-identical to a
+``REPRO_OBS_SLOWDOWN``-seeded re-run.
 
 ``watch`` runs workloads with the live progress engine on: periodic
 virtual-time dashboard frames (per-stage completion, ETA, flow-control
@@ -94,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
             "report", "timeline", "diff", "profile", "calibrate",
             "journal", "replay", "explain", "watch", "slo", "trend",
+            "whatif",
         ],
     )
     parser.add_argument(
@@ -101,7 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark name for `bench`; baseline artifact A for `diff`; "
         "journal path for `replay`; run A (journal path or workload:engine) "
         "for `explain`; workload (or BENCH artifact for `slo`) for "
-        "`watch`/`slo`; history path for `trend`",
+        "`watch`/`slo`; history path for `trend`; journal path or "
+        "workload:engine for `whatif`",
     )
     parser.add_argument(
         "name2", nargs="?",
@@ -185,9 +215,10 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PREFIX",
         help="`journal`/`watch`: output prefix — writes PREFIX.<workload>"
-        ".<engine>.journal.jsonl (a PREFIX ending in .jsonl with a single "
-        "workload and engine is used as the exact path; `journal` defaults "
-        "to `run`, `watch` writes no journal files unless given)",
+        ".<engine>.journal.jsonl (a PREFIX ending in .jsonl or .jsonl.gz "
+        "with a single workload and engine is used as the exact path — "
+        ".gz writes a gzip journal; `journal` defaults to `run`, `watch` "
+        "writes no journal files unless given)",
     )
     parser.add_argument(
         "--view",
@@ -249,6 +280,66 @@ def main(argv: list[str] | None = None) -> int:
         help="`trend`: band half-width in robust sigmas (default 4.0)",
     )
     parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="`trend`: only scan the last N history rows (default: all)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="`whatif`: comma-separated counterfactual, e.g. "
+        "net=2.0,disk=0.5,nodes=16,fabric=rdma — bucket values are SPEED "
+        "multipliers (2.0 = twice as fast); empty/`identity` predicts the "
+        "journal's own makespan exactly",
+    )
+    parser.add_argument(
+        "--sweep",
+        default=None,
+        metavar="KEY=RANGE",
+        help="`whatif`: capacity curve over one knob — `nodes=4..32` "
+        "(doubling), `nodes=4..16:4` (linear step), `disk=0.25,0.5,2` "
+        "(explicit list)",
+    )
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="`whatif`: actually run the requested scenario (simulation "
+        "re-run) and report the prediction error",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="`whatif`: run the full executable validation matrix "
+        "(dilations, node rescales, fabric swaps) and report per-scenario "
+        "prediction error",
+    )
+    parser.add_argument(
+        "--max-error",
+        type=float,
+        default=None,
+        metavar="F",
+        help="`whatif`: exit 1 when any executed scenario's |prediction "
+        "error| exceeds F (e.g. 0.35 = 35%%)",
+    )
+    parser.add_argument(
+        "--emit-journal",
+        default=None,
+        metavar="PATH",
+        help="`whatif`: write the scenario-transformed journal (bucket-only "
+        "scenarios; byte-identical to a REPRO_OBS_SLOWDOWN-seeded re-run; "
+        "`.gz` compresses)",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="`replay`/`explain`/`whatif`: accept a truncated (footer-less) "
+        "journal and reconstruct a best-effort footer up to the last "
+        "complete event",
+    )
+    parser.add_argument(
         "--trace-max-records",
         type=int,
         default=None,
@@ -304,6 +395,12 @@ def main(argv: list[str] | None = None) -> int:
                 "explain requires two runs: journal paths or workload:engine specs"
             )
         return _explain(args)
+    if args.artifact == "whatif":
+        if not args.name:
+            parser.error(
+                "whatif requires a run: a journal path or workload:engine spec"
+            )
+        return _whatif(args)
 
     if args.artifact == "table1":
         print(table1())
@@ -462,10 +559,17 @@ def _warn_dropped(dropped: int, context: str) -> None:
 
 def _journal_path(out: str, workloads: list[str], engines: list[str],
                   workload: str, engine: str) -> str:
-    """Output path for one run's journal under the --out prefix."""
-    if out.endswith(".jsonl") and len(workloads) == 1 and len(engines) == 1:
+    """Output path for one run's journal under the --out prefix.
+
+    A prefix ending in ``.jsonl`` / ``.jsonl.gz`` with a single workload
+    and engine is used verbatim (``.gz`` writes gzip; see
+    :func:`repro.obs.journal.journal_open`).
+    """
+    if out.endswith((".jsonl", ".jsonl.gz")) and len(workloads) == 1 and len(engines) == 1:
         return out
     stem = out
+    if stem.endswith(".gz"):
+        stem = stem[: -len(".gz")]
     if stem.endswith(".jsonl"):
         stem = stem[: -len(".jsonl")]
     if stem.endswith(".journal"):
@@ -479,6 +583,7 @@ def _journal(args) -> int:
         JournalWriter,
         bucket_slowdown_from_env,
         encode_record,
+        journal_open,
         seed_bucket_slowdown,
     )
 
@@ -508,7 +613,7 @@ def _journal(args) -> int:
             if seeded is not None:
                 bucket, factor = seeded
                 records = seed_bucket_slowdown(writer.records, bucket, factor)
-                with open(path, "w") as fh:
+                with journal_open(path, "w") as fh:
                     for record in records:
                         fh.write(encode_record(record) + "\n")
                 print(
@@ -535,6 +640,7 @@ def _watch(args) -> int:
         JournalWriter,
         bucket_slowdown_from_env,
         encode_record,
+        journal_open,
         seed_bucket_slowdown,
     )
     from repro.obs.live import (
@@ -624,7 +730,7 @@ def _watch(args) -> int:
             }
             if args.out:
                 path = _journal_path(args.out, workloads, engines, name, engine)
-                with open(path, "w") as fh:
+                with journal_open(path, "w") as fh:
                     for record in records:
                         fh.write(encode_record(record) + "\n")
                 print(f"wrote {path}", file=sys.stderr)
@@ -747,6 +853,12 @@ def _trend(args) -> int:
         trend_report,
     )
 
+    if args.window is not None and args.window <= 0:
+        print(
+            f"error: --window must be positive (got {args.window})",
+            file=sys.stderr,
+        )
+        return 2
     path = args.name or DEFAULT_HISTORY_PATH
     try:
         history = load_history(path)
@@ -759,6 +871,8 @@ def _trend(args) -> int:
     if not history:
         print(f"error: {path} holds no history rows", file=sys.stderr)
         return 2
+    if args.window is not None:
+        history = history[-args.window:]
     report = trend_report(
         history,
         metric=args.metric,
@@ -781,10 +895,16 @@ def _replay(args) -> int:
     from repro.obs.replay import replay_file
 
     try:
-        run = replay_file(args.name)
+        run = replay_file(args.name, allow_partial=args.allow_partial)
     except (OSError, JournalError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if run.partial:
+        print(
+            "WARNING: journal is partial (reconstructed footer) — views "
+            "cover the recorded prefix only",
+            file=sys.stderr,
+        )
     _warn_dropped(run.trace_dropped, f"recorded in {args.name}")
     tracer = run.tracer
     if args.view == "report":
@@ -925,14 +1045,19 @@ def _explain_side(ref: str, args):
     from repro.obs.explain import side_from_tracer
     from repro.obs.journal import JournalError
 
-    if os.path.exists(ref) or ref.endswith(".jsonl"):
+    if os.path.exists(ref) or ref.endswith((".jsonl", ".jsonl.gz")):
         from repro.obs.replay import replay_file
 
         try:
-            run = replay_file(ref)
+            run = replay_file(ref, allow_partial=args.allow_partial)
         except (OSError, JournalError) as exc:
             print(f"error: {ref}: {exc}", file=sys.stderr)
             return 2
+        if run.partial:
+            print(
+                f"WARNING: {ref} is partial (reconstructed footer)",
+                file=sys.stderr,
+            )
         _warn_dropped(run.trace_dropped, f"recorded in {ref}")
         meta = {
             k: v
@@ -989,6 +1114,190 @@ def _explain(args) -> int:
         print(render_explain(result))
     if args.json:
         _emit_json(args.json, result.to_dict())
+    return 0
+
+
+def _whatif(args) -> int:
+    """Counterfactual capacity planning from a run journal.
+
+    Loads the journal (or runs ``workload:engine`` live to record one),
+    predicts the scenario's makespan with bounds, optionally sweeps a
+    knob into a capacity curve, and — the self-auditing half — executes
+    scenarios for real to report the prediction error (``--execute`` for
+    the requested one, ``--validate`` for the whole matrix), gated by
+    ``--max-error``.
+    """
+    import os
+
+    from repro.obs.journal import (
+        JournalError,
+        JournalWriter,
+        dilate_bucket_charges,
+        encode_record,
+        journal_open,
+        load_journal,
+    )
+    from repro.obs.whatif import (
+        ScenarioError,
+        WhatIfModel,
+        parse_scenario,
+        parse_sweep,
+        render_sweep,
+        render_validation,
+        render_whatif,
+        validate,
+        whatif_dict,
+    )
+
+    try:
+        scenario = parse_scenario(args.scenario)
+        sweep_spec = parse_sweep(args.sweep) if args.sweep else None
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    ref = args.name
+    if os.path.exists(ref) or ref.endswith((".jsonl", ".jsonl.gz")):
+        try:
+            records = load_journal(ref, allow_partial=args.allow_partial)
+        except (OSError, JournalError) as exc:
+            print(f"error: {ref}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        workload, sep, engine = ref.partition(":")
+        if not sep or workload not in TABLE2_ORDER or engine not in ("hamr", "hadoop"):
+            print(
+                f"error: {ref!r} is neither a journal file nor a "
+                "<workload>:<engine> spec "
+                f"(workloads: {', '.join(TABLE2_ORDER)}; engines: hamr, hadoop)",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"  running {ref} ...", file=sys.stderr, flush=True)
+        wl = workload_by_name(workload, args.fidelity)
+        row = run_workload(
+            wl,
+            engines=engine,
+            journal=lambda e: JournalWriter(meta={"fidelity": args.fidelity}),
+            trace_max_records=args.trace_max_records,
+            **_fabric_opts(args, workload=wl),
+        )
+        _warn_dropped(_engine_column(row, engine, "trace_dropped"), ref)
+        records = _engine_column(row, engine, "journal").records
+
+    try:
+        model = WhatIfModel(records)
+    except JournalError as exc:
+        print(f"error: {ref}: {exc}", file=sys.stderr)
+        return 2
+    if model.run.partial:
+        print(
+            "WARNING: journal is partial (reconstructed footer) — "
+            "predictions cover the recorded prefix only",
+            file=sys.stderr,
+        )
+
+    def executor(sc):
+        """Run one scenario for real; None when it cannot be executed."""
+        run = model.run
+        if run.workload not in TABLE2_ORDER or run.engine not in ("hamr", "hadoop"):
+            return None
+        fidelity = run.fidelity or args.fidelity
+        engine = run.engine
+        base_fabric = run.fabric if run.fabric != "direct" else None
+        base_partitioner = run.partitioner if run.partitioner != "hash" else None
+        print(
+            f"  executing {sc.describe()} on {run.workload}:{engine} ...",
+            file=sys.stderr,
+            flush=True,
+        )
+        wl = workload_by_name(run.workload, fidelity)
+        if sc.bucket_only:
+            # Independent end-to-end check: a fresh run, dilated by the
+            # same transform the REPRO_OBS_SLOWDOWN seeding applies.
+            fresh = run_workload(
+                wl, engines=engine, journal=True,
+                fabric=base_fabric, partitioner=base_partitioner,
+                rack_size=model.rack_size or None,
+            )
+            writer = _engine_column(fresh, engine, "journal")
+            dilated = dilate_bucket_charges(writer.records, sc.time_factors)
+            return dilated[-1].get("makespan")
+        if sc.serde_speed is not None:
+            return None  # no executable serde knob
+        if sc.nodes is not None:
+            wl.num_workers = sc.nodes - 1
+        fabric = sc.fabric if sc.fabric is not None else base_fabric
+        rack_size = model.rack_size or None
+        if sc.racks is not None:
+            rack_size = max(1, wl.spec().num_workers // sc.racks)
+        if sc.bucket_speeds:
+            return None  # mixed structural + bucket scenarios: not executable
+        fresh = run_workload(
+            wl, engines=engine, partitioner=base_partitioner,
+            fabric=fabric, rack_size=rack_size,
+        )
+        return _engine_column(fresh, engine, "seconds")
+
+    predictions = [model.predict(scenario)]
+    sweep_out = None
+    if sweep_spec is not None:
+        key, values = sweep_spec
+        sweep_out = (key, model.sweep(key, values, scenario))
+    rows = None
+    if args.validate:
+        rows = validate(model, executor)
+    elif args.execute:
+        rows = validate(model, executor, scenarios=[scenario])
+
+    if args.emit_journal:
+        if not (scenario.bucket_only or scenario.is_identity):
+            print(
+                "error: --emit-journal needs a bucket-only (or identity) "
+                f"scenario — {scenario.describe()!r} changes cluster "
+                "structure, which has no journal transform",
+                file=sys.stderr,
+            )
+            return 2
+        out_records = (
+            records if scenario.is_identity else model.scenario_journal(scenario)
+        )
+        with journal_open(args.emit_journal, "w") as fh:
+            for record in out_records:
+                fh.write(encode_record(record) + "\n")
+        print(
+            f"wrote {args.emit_journal} ({scenario.describe()})", file=sys.stderr
+        )
+
+    if args.json != "-":
+        print(render_whatif(model, predictions))
+        if sweep_out is not None:
+            print()
+            print(render_sweep(model, sweep_out[0], sweep_out[1]))
+        if rows is not None:
+            print()
+            print(render_validation(rows))
+    if args.json:
+        _emit_json(
+            args.json,
+            whatif_dict(model, predictions, sweep=sweep_out, validation=rows),
+        )
+    if args.max_error is not None and rows is not None:
+        worst = max(
+            (abs(row.error) for row in rows if row.error is not None), default=0.0
+        )
+        if worst > args.max_error:
+            print(
+                f"FAIL: worst prediction error {worst:.1%} exceeds "
+                f"--max-error {args.max_error:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: worst prediction error {worst:.1%} within "
+            f"--max-error {args.max_error:.1%}",
+            file=sys.stdout if args.json != "-" else sys.stderr,
+        )
     return 0
 
 

@@ -138,6 +138,15 @@ def run_workload(
     def _engine_run(runner, engine: str):
         writer = _writer_for(engine)
         if writer is not None:
+            spec = workload.spec()
+            num_workers = spec.num_nodes - 1
+            # AppEnv defaults a rack-aware fabric to 4 racks when no
+            # explicit rack size is given; record the resolved value so
+            # offline consumers (whatif re-pricing) see the topology the
+            # run actually used.
+            resolved_rack = rack_size
+            if resolved_rack is None and fabric == "twolevel":
+                resolved_rack = spec.rack_size or max(1, num_workers // 4)
             writer.write_header(
                 workload=workload.name,
                 label=workload.label,
@@ -145,6 +154,8 @@ def run_workload(
                 engine=engine,
                 fabric=fabric or "direct",
                 partitioner=partitioner or "hash",
+                nodes=spec.num_nodes,
+                rack_size=resolved_rack or 0,
             )
         env = workload.fresh_env(
             obs=obs, journal=writer, trace_max_records=trace_max_records,

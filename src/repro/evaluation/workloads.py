@@ -14,8 +14,8 @@ execute real records while charging paper-scale costs (DESIGN.md §7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
 
 from repro.apps import classification, histograms, kcliques, kmeans, naive_bayes, pagerank, wordcount
 from repro.apps.base import AppEnv, AppResult
@@ -38,6 +38,10 @@ class Workload:
     scale: float = 1.0
     run_hamr: Callable[[AppEnv, Any, list], AppResult] = None
     run_hadoop: Callable[[AppEnv, Any, list], AppResult] = None
+    #: worker-count override for node-scaling runs (None = the paper's
+    #: 15 workers + master); set by ``--nodes`` sweeps and the what-if
+    #: validation harness
+    num_workers: Optional[int] = None
 
     @property
     def modeled_bytes(self) -> int:
@@ -48,8 +52,14 @@ class Workload:
         return sum(logical_sizeof(r) for r in self.records)
 
     def spec(self) -> ClusterSpec:
-        """The paper's 16-node cluster with this workload's scale factor."""
-        return paper_cluster_spec(scale=self.scale)
+        """The paper's 16-node cluster with this workload's scale factor
+        (cluster size overridden when ``num_workers`` is set)."""
+        spec = paper_cluster_spec(scale=self.scale)
+        if self.num_workers is not None:
+            if self.num_workers < 1:
+                raise ValueError(f"num_workers must be >= 1: {self.num_workers}")
+            spec = replace(spec, num_nodes=self.num_workers + 1)
+        return spec
 
     def fresh_env(
         self,

@@ -59,19 +59,24 @@ must rank first.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from typing import Any, Callable, Iterable, Optional, TextIO
 
 from repro.obs.blame import BUCKETS
 
-#: current schema: v2 headers carry the run's exchange ``fabric`` and
-#: shuffle ``partitioner`` so replay/diff label cross-fabric comparisons
-JOURNAL_SCHEMA = "repro.obs.journal/v2"
+#: current schema: v3 headers carry the cluster shape (``nodes``,
+#: ``rack_size``) so counterfactual what-if scenarios can rescale the
+#: partition-ownership model without guessing the worker count
+JOURNAL_SCHEMA = "repro.obs.journal/v3"
 
 #: schemas this reader accepts (v1 journals predate exchange fabrics and
-#: replay under the implicit fabric="direct" / partitioner="hash")
-JOURNAL_SCHEMAS = ("repro.obs.journal/v1", JOURNAL_SCHEMA)
+#: replay under the implicit fabric="direct" / partitioner="hash"; v2
+#: predates the cluster-shape header fields)
+JOURNAL_SCHEMAS = (
+    "repro.obs.journal/v1", "repro.obs.journal/v2", JOURNAL_SCHEMA,
+)
 
 #: record types, for validation
 RECORD_TYPES = (
@@ -216,7 +221,7 @@ class JournalWriter:
         return "\n".join(self.lines) + ("\n" if self.lines else "")
 
     def save(self, path: str) -> None:
-        with open(path, "w") as fh:
+        with journal_open(path, "w") as fh:
             fh.write(self.getvalue())
 
     @property
@@ -224,12 +229,109 @@ class JournalWriter:
         return [decode_record(line) for line in self.lines]
 
 
+# -- file I/O -----------------------------------------------------------------------
+
+
+class _GzipJournalFile(io.TextIOWrapper):
+    """Deterministic gzip text writer: the member header carries no
+    filename and ``mtime=0``, so identical records always produce
+    byte-identical ``.jsonl.gz`` files (the replay/whatif determinism
+    gates ``cmp`` compressed journals directly)."""
+
+    def __init__(self, path: str):
+        import gzip
+
+        self._raw = open(path, "wb")
+        try:
+            self._gz = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0
+            )
+        except Exception:
+            self._raw.close()
+            raise
+        super().__init__(self._gz, encoding="utf-8", newline="")
+
+    def close(self) -> None:
+        try:
+            super().close()  # flushes + writes the gzip trailer
+        finally:
+            # GzipFile.close() leaves the underlying fileobj open
+            if not self._raw.closed:
+                self._raw.close()
+
+
+def journal_open(path: str, mode: str = "r"):
+    """Open a journal path for text I/O; ``.gz`` paths are transparently
+    gzip-compressed (canonical line encoding unchanged, so replay stays
+    byte-identical after a round trip)."""
+    if not path.endswith(".gz"):
+        return open(path, mode)
+    if mode.startswith("r"):
+        import gzip
+
+        return gzip.open(path, "rt", encoding="utf-8")
+    if mode.startswith("w"):
+        return _GzipJournalFile(path)
+    raise ValueError(f"unsupported journal open mode {mode!r}")
+
+
 # -- reading ------------------------------------------------------------------------
 
 
-def read_journal(lines: Iterable[str]) -> list[dict]:
-    """Decode + validate a journal: header first, known schema, footer last."""
-    records = [decode_record(line) for line in lines if line.strip()]
+def synthesize_partial_footer(records: list[dict]) -> dict:
+    """Best-effort footer for a truncated journal (no footer record).
+
+    ``virtual_end``/``makespan`` are the latest timestamp any surviving
+    event carries — a lower bound on the real run's, which is the honest
+    reconstruction for a crashed or in-flight run. ``partial: true``
+    marks every downstream view as reconstructed.
+    """
+    opened = closed = 0
+    last = 0.0
+    for rec in records[1:]:
+        t = rec.get("t")
+        if t == "so":
+            opened += 1
+            last = max(last, rec.get("st", 0.0))
+        elif t == "sc":
+            closed += 1
+            last = max(last, rec.get("end", 0.0))
+        elif t in ("s", "tls", "fr"):
+            last = max(last, rec.get("tm", 0.0))
+        elif t == "tli":
+            last = max(last, rec.get("t1", 0.0))
+    return {
+        "t": "footer",
+        "partial": True,
+        "events": len(records) - 1,
+        "spans_opened": opened,
+        "spans_closed": closed,
+        "virtual_end": last,
+        "makespan": last,
+        "trace_records": 0,
+        "trace_dropped": 0,
+        "trace_max_records": None,
+    }
+
+
+def read_journal(lines: Iterable[str], *, allow_partial: bool = False) -> list[dict]:
+    """Decode + validate a journal: header first, known schema, footer last.
+
+    ``allow_partial=True`` accepts a truncated journal (crashed or
+    in-flight run): decoding stops at the first torn line, and a
+    synthesized ``partial: true`` footer closes the record stream at the
+    last complete event. The header is always validated strictly.
+    """
+    records = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            records.append(decode_record(line))
+        except JournalError:
+            if allow_partial:
+                break  # torn trailing write: keep everything before it
+            raise
     if not records:
         raise JournalError("empty journal")
     header = records[0]
@@ -241,13 +343,19 @@ def read_journal(lines: Iterable[str]) -> list[dict]:
             f"unsupported journal schema {schema!r} (expected one of {JOURNAL_SCHEMAS})"
         )
     if records[-1].get("t") != "footer":
-        raise JournalError("journal has no footer record (truncated run?)")
+        if not allow_partial:
+            raise JournalError(
+                "journal has no footer record (truncated run?); pass "
+                "--allow-partial for a best-effort reconstruction up to "
+                "the last complete event"
+            )
+        records.append(synthesize_partial_footer(records))
     return records
 
 
-def load_journal(path: str) -> list[dict]:
-    with open(path) as fh:
-        return read_journal(fh)
+def load_journal(path: str, *, allow_partial: bool = False) -> list[dict]:
+    with journal_open(path) as fh:
+        return read_journal(fh, allow_partial=allow_partial)
 
 
 # -- seeded synthetic regression -----------------------------------------------------
@@ -277,27 +385,44 @@ def bucket_slowdown_from_env() -> Optional[tuple[str, float]]:
 def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> list[dict]:
     """Dilate a journal's virtual timeline: ``bucket`` work takes ``factor``×.
 
-    For every closed span with ``seconds`` charged to ``bucket``, an extra
-    ``(factor - 1) * seconds`` of virtual time is inserted at the span's
-    original end. All timestamps are then remapped through the monotone
-    ``T(t) = t + sum(inserted_i for end_i <= t)`` — order-preserving, so
-    the journal stays causally valid — and the bucket's blame charges are
-    scaled by ``factor`` to match. The footer's ``virtual_end`` and
-    ``makespan`` grow by the total inserted time: exactly the signature a
-    real ``bucket`` regression would leave, which the ``explain``
-    self-test must attribute back to that bucket.
+    Thin wrapper over :func:`dilate_bucket_charges` for the historical
+    single-bucket form — byte-for-byte identical output to the original
+    seeded-regression generator (the ``explain`` self-test and the
+    ``whatif`` prediction-error gate both depend on that).
     """
-    if bucket not in BUCKETS:
-        raise ValueError(f"unknown blame bucket {bucket!r}; pick from {BUCKETS}")
-    if factor <= 0.0:
-        raise ValueError(f"slowdown factor must be positive: {factor}")
+    return dilate_bucket_charges(records, {bucket: factor})
 
-    # Pass 1: span intervals, attribution, and per-span bucket charges.
+
+def dilate_bucket_charges(records: list[dict], factors: dict[str, float]) -> list[dict]:
+    """Dilate a journal's virtual timeline: bucket ``b`` work takes
+    ``factors[b]``× longer, for any set of blame buckets at once.
+
+    For every closed span with ``seconds`` charged to a factored bucket,
+    an extra ``(factor - 1) * seconds`` of virtual time is inserted at the
+    span's original end. All timestamps are then remapped through the
+    monotone ``T(t) = t + sum(inserted_i for end_i <= t)`` —
+    order-preserving, so the journal stays causally valid — and each
+    factored bucket's blame charges are scaled to match. The footer's
+    ``virtual_end`` and ``makespan`` grow by the total inserted time:
+    exactly the signature the real regressions would leave, which the
+    ``explain`` self-test must attribute back to those buckets and the
+    ``whatif`` engine uses as the executable ground truth for composed
+    bucket scenarios. (Factors below 1.0 shrink the timeline instead —
+    the counterfactual for *faster* hardware.)
+    """
+    for bucket in factors:
+        if bucket not in BUCKETS:
+            raise ValueError(f"unknown blame bucket {bucket!r}; pick from {BUCKETS}")
+    for bucket, factor in factors.items():
+        if factor <= 0.0:
+            raise ValueError(f"slowdown factor must be positive: {bucket}={factor}")
+
+    # Pass 1: span intervals, attribution, and per-span factored charges.
     starts: dict[int, float] = {}
     ends: dict[int, float] = {}
     jobs: dict[int, str] = {}
     nodes: dict[int, int] = {}
-    charged: dict[int, float] = {}
+    charged: dict[int, dict[str, float]] = {}
     for rec in records:
         if rec["t"] == "so":
             starts[rec["id"]] = rec["st"]
@@ -307,18 +432,34 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
                 nodes[rec["id"]] = rec["nd"]
         elif rec["t"] == "sc":
             ends[rec["id"]] = rec["end"]
-        elif rec["t"] == "b" and rec["bk"] == bucket and rec.get("sp") is not None:
-            charged[rec["sp"]] = charged.get(rec["sp"], 0.0) + rec["v"]
+        elif rec["t"] == "b" and rec["bk"] in factors and rec.get("sp") is not None:
+            per = charged.setdefault(rec["sp"], {})
+            per[rec["bk"]] = per.get(rec["bk"], 0.0) + rec["v"]
 
     # Insertion points: (end_time, extra_seconds), merged per end time.
+    # Per-span extras are also kept per bucket so straddler compensation
+    # below can attribute absorbed waiting proportionally.
     inserted: dict[float, float] = {}
     own_extra: dict[int, float] = {}
-    for span_id, seconds in charged.items():
+    own_by_bucket: dict[int, dict[str, float]] = {}
+    total_by_bucket: dict[str, float] = {}
+    for span_id, per in charged.items():
         end = ends.get(span_id)
-        if end is None or seconds <= 0.0:
+        if end is None:
             continue
-        extra = (factor - 1.0) * seconds
+        extra = 0.0
+        by_bucket: dict[str, float] = {}
+        for bucket, seconds in per.items():
+            if seconds <= 0.0:
+                continue
+            part = (factors[bucket] - 1.0) * seconds
+            by_bucket[bucket] = part
+            total_by_bucket[bucket] = total_by_bucket.get(bucket, 0.0) + part
+            extra += part
+        if not by_bucket:
+            continue
         own_extra[span_id] = extra
+        own_by_bucket[span_id] = by_bucket
         inserted[end] = inserted.get(end, 0.0) + extra
     points = sorted(inserted.items())
 
@@ -336,7 +477,7 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
     # real bucket slowdown would charge that absorbed waiting to the
     # bucket too (the span was gated on the slowed resource), so emit a
     # compensating charge per straddling span — the critical-path rollup
-    # then attributes the whole dilation to the seeded bucket instead of
+    # then attributes the whole dilation to the seeded buckets instead of
     # leaking it into "other".
     residual: dict[int, float] = {}
     for span_id, start in starts.items():
@@ -347,6 +488,21 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
         extra = growth - own_extra.get(span_id, 0.0)
         if extra > 1e-12 and span_id in jobs:
             residual[span_id] = extra
+
+    def residual_shares(span_id: int) -> list[tuple[str, float]]:
+        """Bucket attribution for one straddler's absorbed waiting:
+        proportional to the span's own extras, falling back to the
+        journal-wide inserted totals (deterministic BUCKETS order)."""
+        weights = own_by_bucket.get(span_id) or total_by_bucket
+        total = sum(weights.values())
+        if total == 0.0:
+            weights = {bucket: 1.0 for bucket in factors}
+            total = float(len(weights))
+        return [
+            (bucket, weights[bucket] / total)
+            for bucket in BUCKETS
+            if weights.get(bucket)
+        ]
 
     out: list[dict] = []
     new_starts: dict[int, float] = {}
@@ -364,8 +520,8 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
             rec["end"] = new_ends[rec["id"]] = remap(rec["end"])
             last_closed = rec["id"]
         elif t == "b":
-            if rec["bk"] == bucket:
-                rec["v"] = rec["v"] * factor
+            if rec["bk"] in factors:
+                rec["v"] = rec["v"] * factors[rec["bk"]]
         elif t == "h":
             # The span.seconds observation emitted by _span_finished
             # immediately follows its "sc" record; keep it consistent
@@ -393,18 +549,25 @@ def seed_bucket_slowdown(records: list[dict], bucket: str, factor: float) -> lis
                 rec["makespan"] = remap(rec["makespan"])
             if "events" in rec:
                 rec["events"] = rec["events"] + added
-            rec["seeded_slowdown"] = {"bucket": bucket, "factor": factor}
+            if len(factors) == 1:
+                ((bucket, factor),) = factors.items()
+                rec["seeded_slowdown"] = {"bucket": bucket, "factor": factor}
+            else:
+                rec["seeded_slowdown"] = {
+                    "buckets": {b: factors[b] for b in sorted(factors)}
+                }
         out.append(rec)
         if t == "sc" and rec["id"] in residual:
             sid = rec["id"]
-            charge: dict = {
-                "t": "b", "j": jobs[sid], "bk": bucket, "v": residual[sid],
-                "sp": sid,
-            }
-            if sid in nodes:
-                charge["nd"] = nodes[sid]
-            out.append(charge)
-            added += 1
+            for bucket, share in residual_shares(sid):
+                charge: dict = {
+                    "t": "b", "j": jobs[sid], "bk": bucket,
+                    "v": residual[sid] * share, "sp": sid,
+                }
+                if sid in nodes:
+                    charge["nd"] = nodes[sid]
+                out.append(charge)
+                added += 1
     if frames:
         # Live-dashboard frames sit on the dilated timeline now: the
         # watchdog verdicts and ETA projections must be recomputed, so a

@@ -85,6 +85,21 @@ class ReplayedRun:
         return self.header.get("partitioner", "hash")
 
     @property
+    def num_nodes(self) -> Optional[int]:
+        """Cluster size the run executed on (v3 headers; None before)."""
+        return self.header.get("nodes")
+
+    @property
+    def rack_size(self) -> Optional[int]:
+        """Workers per rack for rack-aware fabrics (v3 headers)."""
+        return self.header.get("rack_size")
+
+    @property
+    def partial(self) -> bool:
+        """True when the footer was synthesized for a truncated journal."""
+        return bool(self.footer.get("partial"))
+
+    @property
     def makespan(self) -> float:
         return self.footer.get("makespan", 0.0)
 
@@ -215,9 +230,17 @@ def replay_records(records: list[dict]) -> ReplayedRun:
     return ReplayedRun(header, footer, tracer, frames=frames, watch_config=watch_config)
 
 
-def replay_lines(lines) -> ReplayedRun:
-    return replay_records(read_journal(lines))
+def replay_lines(lines, *, allow_partial: bool = False) -> ReplayedRun:
+    return replay_records(read_journal(lines, allow_partial=allow_partial))
 
 
-def replay_file(path: str) -> ReplayedRun:
-    return replay_records(load_journal(path))
+def replay_file(path: str, *, allow_partial: bool = False) -> ReplayedRun:
+    """Replay a journal file (``.jsonl`` or ``.jsonl.gz``).
+
+    With ``allow_partial`` a footer-less (truncated) journal replays
+    best-effort up to the last complete event: spans without a close
+    record stay open and the synthesized footer carries
+    ``partial: true`` plus the last observed timestamp as the makespan
+    floor.
+    """
+    return replay_records(load_journal(path, allow_partial=allow_partial))

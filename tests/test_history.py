@@ -232,3 +232,24 @@ class TestTrendCLI:
         payload = json.loads(out.read_text())
         assert payload["schema"] == TREND_SCHEMA
         assert payload["shifts"] == 1
+
+    def test_window_bounds_the_scanned_rows(self, tmp_path, capsys):
+        """--window N drops older rows: an ancient shift inside a stable
+        recent window no longer trips the gate."""
+        path = tmp_path / "hist.jsonl"
+        # old regime at 41.2, then a sustained shift to 55.x
+        _write(_synthetic_history([41.2] * 8 + [55.0, 55.2] * 4), path)
+        assert main(["trend", str(path), "--fail-on-shift"]) == 1
+        capsys.readouterr()
+        # the last 8 rows are all post-shift: nothing to flag
+        assert main(["trend", str(path), "--window", "8",
+                     "--fail-on-shift"]) == 0
+        out = capsys.readouterr().out
+        assert "8 history rows" in out
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_window_exits_2(self, tmp_path, capsys, bad):
+        path = tmp_path / "hist.jsonl"
+        _write(_synthetic_history([41.2] * 7), path)
+        assert main(["trend", str(path), "--window", bad]) == 2
+        assert "--window must be positive" in capsys.readouterr().err

@@ -30,7 +30,10 @@ from repro.obs.journal import (
     JournalWriter,
     bucket_slowdown_from_env,
     decode_record,
+    dilate_bucket_charges,
     encode_record,
+    journal_open,
+    load_journal,
     read_journal,
     seed_bucket_slowdown,
 )
@@ -418,3 +421,135 @@ class TestSeededSlowdown:
         assert top_row[0] == "disk"
         # the ranked contribution explains (at least) the makespan growth
         assert top_row[3] == pytest.approx(result.makespan_delta, rel=0.05)
+
+
+# -- gzip transport ---------------------------------------------------------------
+
+
+class TestGzipJournals:
+    def test_gz_round_trip_is_byte_identical(self, tmp_path):
+        """Same canonical encoding under gzip: decompressed bytes match the
+        plain file, and replay reconstructs the identical tracer."""
+        import gzip
+
+        _env, _result, writer = _run_journaled_wordcount()
+        plain = tmp_path / "run.journal.jsonl"
+        packed = tmp_path / "run.journal.jsonl.gz"
+        writer.save(str(plain))
+        writer.save(str(packed))
+        assert gzip.open(str(packed), "rb").read() == plain.read_bytes()
+        assert replay_file(str(packed)).tracer.to_json() == replay_file(
+            str(plain)
+        ).tracer.to_json()
+
+    def test_gz_files_are_deterministic(self, tmp_path):
+        """No mtime/filename leaks into the gzip container."""
+        _env, _result, writer = _run_journaled_wordcount()
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        writer.save(str(a))
+        writer.save(str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_journal_open_modes(self, tmp_path):
+        path = tmp_path / "x.jsonl.gz"
+        with journal_open(str(path), "w") as fh:
+            fh.write("hello\n")
+        with journal_open(str(path)) as fh:
+            assert fh.read() == "hello\n"
+        with pytest.raises(ValueError):
+            journal_open(str(path), "a")
+
+
+# -- truncated journals -----------------------------------------------------------
+
+
+class TestPartialJournals:
+    def test_footerless_journal_raises_by_default(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        truncated = writer.lines[:-1]
+        with pytest.raises(JournalError, match="allow-partial"):
+            read_journal(truncated)
+
+    def test_allow_partial_reconstructs_the_makespan(self):
+        _env, result, writer = _run_journaled_wordcount()
+        truncated = writer.lines[:-1]
+        records = read_journal(truncated, allow_partial=True)
+        footer = records[-1]
+        assert footer["partial"] is True
+        assert footer["makespan"] == result.makespan
+        run = replay_lines(truncated, allow_partial=True)
+        assert run.partial and run.makespan == result.makespan
+
+    def test_partial_flag_defaults_false_on_complete_journals(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        assert replay_lines(writer.lines).partial is False
+
+    def test_midfile_truncation_keeps_the_complete_prefix(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        cut = len(writer.lines) // 2
+        truncated = writer.lines[:cut] + [writer.lines[cut][: 10]]
+        with pytest.raises(JournalError):
+            read_journal(truncated)
+        records = read_journal(truncated, allow_partial=True)
+        assert records[-1]["partial"] is True
+        assert len(records) == cut + 1  # complete prefix + synthesized footer
+
+    def test_replay_cli_exits_2_without_allow_partial(self, tmp_path, capsys):
+        from repro.evaluation.__main__ import main
+
+        _env, _result, writer = _run_journaled_wordcount()
+        path = tmp_path / "trunc.jsonl"
+        path.write_text("\n".join(writer.lines[:-1]) + "\n")
+        assert main(["replay", str(path)]) == 2
+        assert "allow-partial" in capsys.readouterr().err
+        assert main(["replay", str(path), "--allow-partial"]) == 0
+        assert "partial" in capsys.readouterr().err
+
+    def test_load_journal_reads_partial_gz(self, tmp_path):
+        _env, _result, writer = _run_journaled_wordcount()
+        path = tmp_path / "trunc.jsonl.gz"
+        with journal_open(str(path), "w") as fh:
+            fh.write("\n".join(writer.lines[:-1]) + "\n")
+        records = load_journal(str(path), allow_partial=True)
+        assert records[-1]["partial"] is True
+
+
+# -- multi-bucket dilation --------------------------------------------------------
+
+
+class TestMultiBucketDilation:
+    def test_single_bucket_wrapper_is_byte_identical(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        via_wrapper = seed_bucket_slowdown(writer.records, "disk", 2.0)
+        via_dict = dilate_bucket_charges(writer.records, {"disk": 2.0})
+        assert [encode_record(r) for r in via_wrapper] == [
+            encode_record(r) for r in via_dict
+        ]
+
+    def test_composed_factors_grow_by_both_buckets(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        records = writer.records
+        totals = {}
+        for r in records:
+            if r["t"] == "b" and r.get("sp") is not None:
+                totals[r["bk"]] = totals.get(r["bk"], 0.0) + r["v"]
+        out = dilate_bucket_charges(records, {"disk": 2.0, "network": 3.0})
+        grown = out[-1]["makespan"] - records[-1]["makespan"]
+        expected = totals.get("disk", 0.0) + 2.0 * totals.get("network", 0.0)
+        assert grown == pytest.approx(expected)
+        assert out[-1]["seeded_slowdown"] == {
+            "buckets": {"disk": 2.0, "network": 3.0}
+        }
+
+    def test_composed_dilation_still_replays(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        out = dilate_bucket_charges(writer.records, {"disk": 1.5, "compute": 2.0})
+        run = replay_lines([encode_record(r) for r in out])
+        assert run.makespan == out[-1]["makespan"]
+
+    def test_rejects_bad_factor_dicts(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        with pytest.raises(ValueError, match="bucket"):
+            dilate_bucket_charges(writer.records, {"nope": 2.0})
+        with pytest.raises(ValueError, match="positive"):
+            dilate_bucket_charges(writer.records, {"disk": -1.0})
