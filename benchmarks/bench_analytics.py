@@ -1,0 +1,122 @@
+"""The ``obs-analytics`` workload: fleet SQL on both engines -> ``BENCH_analytics.json``.
+
+Builds a small journal fleet (each selected Table 2 workload x engine,
+plus one seeded disk regression so blame/seeded columns are non-trivial),
+ingests it into a corpus index, and runs every canned fleet-analytics
+query (:data:`repro.obs.analytics.CANNED_QUERIES`) through the HAMR
+flowlet compiler **and** the MapReduce executor on fresh simulated
+clusters::
+
+    python benchmarks/bench_analytics.py --fidelity tiny --out BENCH_analytics.json
+    python benchmarks/bench_analytics.py --workloads wordcount --engines hamr
+
+The artifact records the paired virtual makespans per query (SQL-on-
+telemetry as a dual-engine comparison, the BigBench direction the paper
+sketches in §7) and the reference-check verdict. Exit code 1 when any
+query's result rows diverge across engines — the same gate CI runs
+(``corpus-doctor-gate``).
+
+``REPRO_GIT_COMMIT`` is pinned so journal headers — and therefore the
+corpus ``commit`` column and every query result over it — are
+byte-deterministic across checkouts.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+from repro.evaluation.runner import run_workload
+from repro.evaluation.workloads import TABLE2_ORDER, workload_by_name
+from repro.obs.analytics import ANALYTICS_SCHEMA, run_analytics
+from repro.obs.corpus import CORPUS_SCHEMA, ingest, save_corpus
+from repro.obs.journal import encode_record, seed_bucket_slowdown
+
+BENCH_ANALYTICS_SCHEMA = "repro.obs.bench_analytics/v1"
+
+#: the injected regression that keeps the seeded/blame columns honest
+SEEDED_BUCKET, SEEDED_FACTOR = "disk", 2.0
+
+
+def build_fleet(root: str, workloads, engines, fidelity: str) -> dict:
+    """Journal every workload x engine into ``root``; returns ingest stats."""
+    first_hamr = None
+    for name in workloads:
+        for engine in engines:
+            print(f"  journaling {name}:{engine} ({fidelity}) ...",
+                  file=sys.stderr, flush=True)
+            run = run_workload(
+                workload_by_name(name, fidelity), engines=engine, journal=True
+            )
+            writer = run.hamr_journal if engine == "hamr" else run.hadoop_journal
+            writer.save(os.path.join(root, f"{name}.{engine}.journal.jsonl"))
+            if first_hamr is None and engine == "hamr":
+                first_hamr = (name, writer)
+    if first_hamr is not None:
+        name, writer = first_hamr
+        seeded = seed_bucket_slowdown(writer.records, SEEDED_BUCKET, SEEDED_FACTOR)
+        with open(os.path.join(root, f"{name}.seeded.journal.jsonl"), "w") as fh:
+            for record in seeded:
+                fh.write(encode_record(record) + "\n")
+    index = os.path.join(root, "corpus.jsonl")
+    rows, stats = ingest([root], exclude=[index])
+    save_corpus(rows, index)
+    return {"rows": rows, "stats": stats}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fidelity", default="tiny",
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--workloads", default="wordcount,kcliques",
+                        help="comma-separated Table 2 subset")
+    parser.add_argument("--engines", default="both",
+                        choices=["both", "hamr", "hadoop"])
+    parser.add_argument("--workers", type=int, default=3,
+                        help="simulated workers per analytics engine")
+    parser.add_argument("--out", default="BENCH_analytics.json")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="always exit 0 (measurement only)")
+    args = parser.parse_args(argv)
+
+    selected = [w for w in args.workloads.split(",") if w]
+    unknown = sorted(set(selected) - set(TABLE2_ORDER))
+    if unknown:
+        parser.error(f"unknown workloads {unknown}; pick from {TABLE2_ORDER}")
+    engines = ["hamr", "hadoop"] if args.engines == "both" else [args.engines]
+
+    os.environ.setdefault("REPRO_GIT_COMMIT", "bench")
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as root:
+        fleet = build_fleet(root, selected, engines, args.fidelity)
+        print(
+            f"  corpus: {fleet['stats']['added']} run(s) indexed, "
+            "running canned queries on both engines ...",
+            file=sys.stderr, flush=True,
+        )
+        report = run_analytics(fleet["rows"], num_workers=args.workers)
+
+    payload = {
+        "schema": BENCH_ANALYTICS_SCHEMA,
+        "analytics_schema": ANALYTICS_SCHEMA,
+        "corpus_schema": CORPUS_SCHEMA,
+        "fidelity": args.fidelity,
+        "workloads": selected,
+        "engines": engines,
+        "seeded": {"bucket": SEEDED_BUCKET, "factor": SEEDED_FACTOR},
+        "report": report,
+    }
+    path = pathlib.Path(args.out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    mismatched = [q["name"] for q in report["queries"] if not q["match"]]
+    for name in mismatched:
+        print(f"FAIL {name}: engine results diverged", file=sys.stderr)
+    if mismatched and not args.no_gate:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -143,6 +143,7 @@ def _engine_entry(tracer, virtual_seconds, wall_seconds=0.0, hostprof=None):
 def run_row(
     name: str, fidelity: str, engines: str = "both",
     journal_stem: str | None = None, fabric: str = "direct",
+    partitioner: str = "hash",
 ) -> dict:
     """Run one traced+profiled workload row and build its artifact entry.
 
@@ -165,6 +166,7 @@ def run_row(
     row = run_workload(
         workload, engines=engines, obs=True, profile=True, journal=journal,
         fabric=None if fabric == "direct" else fabric,
+        partitioner=None if partitioner == "hash" else partitioner,
     )
     if journal_stem is not None:
         for engine, writer in (
@@ -190,10 +192,16 @@ def run_row(
             row.hadoop_obs, row.idh_seconds * factor, row.hadoop_wall_seconds,
             row.hadoop_hostprof,
         )
-    if fabric != "direct":
-        for engine in ("hamr", "hadoop"):
-            if engine in entry:
-                entry[engine]["fabric"] = fabric
+    # Off-default exchange configurations are stamped per engine entry so
+    # the diff gate and trend series key on them (default entries stay
+    # key-free — the committed baseline artifact is unchanged).
+    for engine in ("hamr", "hadoop"):
+        if engine not in entry:
+            continue
+        if fabric != "direct":
+            entry[engine]["fabric"] = fabric
+        if partitioner != "hash":
+            entry[engine]["partitioner"] = partitioner
     snaps = {}
     if row.hamr_hostprof is not None:
         snaps["hamr"] = {"hostprof": row.hamr_hostprof}
@@ -285,6 +293,13 @@ def main(argv=None) -> int:
         "entries are keyed engine@fabric by the diff gate)",
     )
     parser.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=["hash", "shard"],
+        help="partition-ownership strategy for both engines (non-hash "
+        "entries are stamped so trend series never mix strategies)",
+    )
+    parser.add_argument(
         "--out", default=str(_default_path()), help="artifact output path"
     )
     parser.add_argument(
@@ -325,7 +340,7 @@ def main(argv=None) -> int:
         print(f"  running {name} ({args.fidelity}, {args.engines}) ...", file=sys.stderr)
         rows[name] = run_row(
             name, args.fidelity, args.engines, journal_stem=journal_stem,
-            fabric=args.fabric,
+            fabric=args.fabric, partitioner=args.partitioner,
         )
     path = pathlib.Path(args.out)
     payload = build_payload(rows, args.fidelity)

@@ -44,6 +44,23 @@ Usage::
                                       [--execute | --validate] [--max-error F]
                                       [--emit-journal PATH] [--allow-partial]
                                       [--json whatif.json]
+    python -m repro.evaluation corpus ingest <dir-or-journal>
+                                      [--index corpus.jsonl] [--allow-partial]
+    python -m repro.evaluation corpus ls [--index corpus.jsonl]
+                                      [--where workload=wordcount,engine=hamr]
+                                      [--json rows.json]
+    python -m repro.evaluation corpus show <fingerprint-prefix>
+                                      [--index corpus.jsonl] [--json row.json]
+    python -m repro.evaluation doctor <specA> <specB>
+                                      [--index corpus.jsonl] [--allow-partial]
+                                      [--json doctor.json]
+    python -m repro.evaluation doctor --shift workload:engine[@fabric][+part]
+                                      [--history BENCH_history.jsonl]
+                                      [--metric virtual_seconds]
+                                      [--index corpus.jsonl] [--json doctor.json]
+    python -m repro.evaluation analytics [--index corpus.jsonl]
+                                      [--where engine=hamr] [--workers 3]
+                                      [--json analytics.json]
 
 Every ``--json PATH`` accepts ``-`` to write the JSON document to stdout
 (the human-readable report then goes nowhere — stdout carries only JSON).
@@ -72,6 +89,22 @@ canonical encoding; ``replay`` output stays byte-identical either way),
 and a journal whose run died before the footer was written is rejected
 with exit code 2 unless ``--allow-partial`` reconstructs a best-effort
 footer up to the last complete event.
+
+``corpus`` is the deterministic journal warehouse (:mod:`repro.obs.
+corpus`): ``ingest`` scans for ``*.jsonl[.gz]`` journals, replays each
+one once, and merges compact summary rows (identity, makespan, blame,
+critical path, traffic, straggler stats) into a canonical JSONL index
+deduplicated by run fingerprint — re-ingesting is idempotent and the
+index is byte-identical across reruns. ``doctor`` resolves two run
+specs (journal paths, fingerprint prefixes, or unique
+``workload:engine[@fabric][+partitioner]`` selectors) against the index
+and chains explain + integrity audit + skew + traffic drift into one
+ranked root-cause report with confidence tiers and a ready-to-run
+``whatif`` counter-scenario; ``doctor --shift`` consumes a ``trend``
+SHIFT verdict and auto-picks the baseline/regressed pair by producing
+commit. ``analytics`` exports the index as SQL tables and runs the
+canned fleet queries on **both** engines (flowlet compiler and
+MapReduce executor), exiting 1 if any query's results diverge.
 
 ``whatif`` is the counterfactual capacity-planning engine
 (:mod:`repro.obs.whatif`): it loads a run journal (or runs
@@ -122,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
             "table1", "table2", "table3", "fig3a", "fig3b", "all", "bench",
             "report", "timeline", "diff", "profile", "calibrate",
             "journal", "replay", "explain", "watch", "slo", "trend",
-            "whatif",
+            "whatif", "corpus", "doctor", "analytics",
         ],
     )
     parser.add_argument(
@@ -131,12 +164,14 @@ def main(argv: list[str] | None = None) -> int:
         "journal path for `replay`; run A (journal path or workload:engine) "
         "for `explain`; workload (or BENCH artifact for `slo`) for "
         "`watch`/`slo`; history path for `trend`; journal path or "
-        "workload:engine for `whatif`",
+        "workload:engine for `whatif`; subcommand (ingest/ls/show) for "
+        "`corpus`; run A spec (or shifted series with --shift) for `doctor`",
     )
     parser.add_argument(
         "name2", nargs="?",
         help="candidate artifact B for `diff`; run B for `explain`; "
-        "engine for `watch`/`slo`",
+        "engine for `watch`/`slo`; ingest target or show fingerprint for "
+        "`corpus`; run B spec for `doctor`",
     )
     parser.add_argument(
         "--fidelity",
@@ -335,9 +370,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--allow-partial",
         action="store_true",
-        help="`replay`/`explain`/`whatif`: accept a truncated (footer-less) "
-        "journal and reconstruct a best-effort footer up to the last "
-        "complete event",
+        help="`replay`/`explain`/`whatif`/`corpus`/`doctor`: accept a "
+        "truncated (footer-less) journal and reconstruct a best-effort "
+        "footer up to the last complete event (`corpus ingest` additionally "
+        "skips undecodable files instead of aborting)",
+    )
+    parser.add_argument(
+        "--index",
+        default=None,
+        metavar="PATH",
+        help="`corpus`/`doctor`/`analytics`: the corpus index file "
+        "(default corpus.jsonl)",
+    )
+    parser.add_argument(
+        "--where",
+        default=None,
+        metavar="COL=VAL,...",
+        help="`corpus ls`/`analytics`: keep only index rows matching every "
+        "column=value constraint (values parsed as JSON, else strings)",
+    )
+    parser.add_argument(
+        "--shift",
+        action="store_true",
+        help="`doctor`: treat the run spec as a shifted trend series "
+        "(workload:engine[@fabric][+partitioner]), re-run the detector over "
+        "--history and auto-pick the baseline/regressed journal pair",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="`doctor --shift`: the BENCH history file "
+        "(default BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="`analytics`: simulated workers per engine cluster (default 3)",
     )
     parser.add_argument(
         "--trace-max-records",
@@ -401,6 +472,26 @@ def main(argv: list[str] | None = None) -> int:
                 "whatif requires a run: a journal path or workload:engine spec"
             )
         return _whatif(args)
+    if args.artifact == "corpus":
+        if args.name not in ("ingest", "ls", "show"):
+            parser.error("corpus requires a subcommand: ingest, ls or show")
+        return _corpus(args)
+    if args.artifact == "doctor":
+        if args.shift:
+            if not args.name or args.name2:
+                parser.error(
+                    "doctor --shift takes exactly one shifted series spec "
+                    "(workload:engine[@fabric][+partitioner])"
+                )
+        elif not args.name or not args.name2:
+            parser.error(
+                "doctor requires two run specs (journal paths, corpus "
+                "fingerprints or workload:engine selectors), or --shift "
+                "with one series spec"
+            )
+        return _doctor(args)
+    if args.artifact == "analytics":
+        return _analytics(args)
 
     if args.artifact == "table1":
         print(table1())
@@ -881,7 +972,7 @@ def _trend(args) -> int:
         sustain=args.sustain,
     )
     if args.json != "-":
-        print(render_trend(report))
+        print(render_trend(report, history_path=path))
     if args.json:
         _emit_json(args.json, report)
     if args.fail_on_shift and report["shifts"]:
@@ -1298,6 +1389,242 @@ def _whatif(args) -> int:
             f"--max-error {args.max_error:.1%}",
             file=sys.stdout if args.json != "-" else sys.stderr,
         )
+    return 0
+
+
+def _corpus_index(args) -> str:
+    from repro.obs.corpus import DEFAULT_INDEX_PATH
+
+    return args.index or DEFAULT_INDEX_PATH
+
+
+def _corpus_rows(args) -> "list[dict] | int":
+    """Load the corpus index, or the exit code 2 after printing the error."""
+    from repro.obs.corpus import load_corpus
+    from repro.obs.journal import JournalError
+
+    path = _corpus_index(args)
+    try:
+        return load_corpus(path)
+    except OSError as exc:
+        print(
+            f"error: {exc} (build the index with `corpus ingest <dir>`)",
+            file=sys.stderr,
+        )
+        return 2
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _parse_where(args) -> "dict | int":
+    from repro.obs.corpus import parse_where
+
+    if not args.where:
+        return {}
+    try:
+        return parse_where(args.where)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _corpus(args) -> int:
+    """The journal warehouse: ingest/ls/show over the canonical index."""
+    import os
+
+    from repro.obs.corpus import (
+        CORPUS_SCHEMA,
+        filter_rows,
+        find_by_fingerprint,
+        ingest,
+        load_corpus,
+        render_corpus,
+        render_row,
+        save_corpus,
+    )
+    from repro.obs.journal import JournalError
+
+    index = _corpus_index(args)
+    if args.name == "ingest":
+        if not args.name2:
+            print(
+                "error: corpus ingest requires a directory or journal path",
+                file=sys.stderr,
+            )
+            return 2
+        if not os.path.exists(args.name2):
+            print(f"error: no such path: {args.name2}", file=sys.stderr)
+            return 2
+        existing = load_corpus(index) if os.path.exists(index) else []
+        try:
+            rows, stats = ingest(
+                [args.name2],
+                existing,
+                allow_partial=args.allow_partial,
+                exclude=[index],
+            )
+        except (OSError, JournalError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        save_corpus(rows, index)
+        print(
+            f"{index}: {stats['scanned']} journal(s) scanned, "
+            f"{stats['added']} added, {stats['duplicates']} duplicate(s), "
+            f"{stats['skipped']} skipped — {len(rows)} run(s) indexed",
+            file=sys.stderr,
+        )
+        return 0
+    rows = _corpus_rows(args)
+    if isinstance(rows, int):
+        return rows
+    if args.name == "show":
+        if not args.name2:
+            print(
+                "error: corpus show requires a fingerprint prefix",
+                file=sys.stderr,
+            )
+            return 2
+        matched = find_by_fingerprint(rows, args.name2)
+        if not matched:
+            print(
+                f"error: no corpus row matches fingerprint {args.name2!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if len(matched) > 1:
+            listing = ", ".join(row["fingerprint"][:12] for row in matched)
+            print(
+                f"error: fingerprint prefix {args.name2!r} is ambiguous "
+                f"({listing})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json != "-":
+            print(render_row(matched[0]))
+        if args.json:
+            _emit_json(args.json, matched[0])
+        return 0
+    # ls
+    where = _parse_where(args)
+    if isinstance(where, int):
+        return where
+    rows = filter_rows(rows, where)
+    if args.json != "-":
+        print(render_corpus(rows))
+    if args.json:
+        _emit_json(args.json, {"schema": CORPUS_SCHEMA, "rows": rows})
+    return 0
+
+
+def _doctor(args) -> int:
+    """Automated regression diagnosis over two corpus-resolved journals."""
+    import os
+
+    from repro.obs.doctor import (
+        DoctorError,
+        diagnose,
+        render_doctor,
+        resolve_shift,
+        resolve_spec,
+    )
+    from repro.obs.journal import JournalError
+    from repro.obs.replay import replay_file
+
+    index = _corpus_index(args)
+    rows = load_rows = None
+    if os.path.exists(index):
+        load_rows = _corpus_rows(args)
+        if isinstance(load_rows, int):
+            return load_rows
+    rows = load_rows or []
+    shift = None
+    try:
+        if args.shift:
+            from repro.obs.history import DEFAULT_HISTORY_PATH, load_history
+
+            history_path = args.history or DEFAULT_HISTORY_PATH
+            try:
+                history = load_history(history_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            path_a, path_b, shift = resolve_shift(
+                history,
+                rows,
+                args.name,
+                metric=args.metric,
+                index_path=index,
+                min_history=args.min_history,
+                threshold=args.mad_threshold,
+                sustain=args.sustain,
+            )
+        else:
+            path_a = resolve_spec(rows, args.name, index)
+            path_b = resolve_spec(rows, args.name2, index)
+    except DoctorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runs = []
+    for path in (path_a, path_b):
+        try:
+            run = replay_file(path, allow_partial=args.allow_partial)
+        except (OSError, JournalError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        if run.partial:
+            print(
+                f"WARNING: {path} is partial (reconstructed footer)",
+                file=sys.stderr,
+            )
+        _warn_dropped(run.trace_dropped, f"recorded in {path}")
+        runs.append(run)
+    report = diagnose(runs[0], runs[1], path_a, path_b, shift=shift)
+    if args.json != "-":
+        print(render_doctor(report))
+    if args.json:
+        _emit_json(args.json, report.to_dict())
+    return 0
+
+
+def _analytics(args) -> int:
+    """Fleet SQL over the corpus, reference-checked across both engines."""
+    from repro.obs.analytics import render_analytics, run_analytics
+
+    if args.workers <= 0:
+        print(
+            f"error: --workers must be positive (got {args.workers})",
+            file=sys.stderr,
+        )
+        return 2
+    rows = _corpus_rows(args)
+    if isinstance(rows, int):
+        return rows
+    where = _parse_where(args)
+    if isinstance(where, int):
+        return where
+    if where:
+        from repro.obs.corpus import filter_rows
+
+        rows = filter_rows(rows, where)
+    if not rows:
+        print(
+            "error: the corpus index holds no matching runs — ingest "
+            "journals first (`corpus ingest <dir>`)",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_analytics(rows, num_workers=args.workers)
+    if args.json != "-":
+        print(render_analytics(report))
+    if args.json:
+        _emit_json(args.json, report)
+    if not report["all_match"]:
+        print(
+            "FAIL: engine results diverged on at least one canned query",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

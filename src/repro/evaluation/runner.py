@@ -13,6 +13,18 @@ from repro.evaluation.workloads import Workload
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Tracer
 
+#: memoized git commit for journal headers — resolve_commit() shells out
+#: to git, which must happen at most once per process, not once per run
+_COMMIT_CACHE: list = []
+
+
+def _journal_commit() -> Optional[str]:
+    if not _COMMIT_CACHE:
+        from repro.obs.history import resolve_commit
+
+        _COMMIT_CACHE.append(resolve_commit())
+    return _COMMIT_CACHE[0]
+
 
 @dataclass
 class BenchmarkRow:
@@ -147,7 +159,7 @@ def run_workload(
             resolved_rack = rack_size
             if resolved_rack is None and fabric == "twolevel":
                 resolved_rack = spec.rack_size or max(1, num_workers // 4)
-            writer.write_header(
+            header = dict(
                 workload=workload.name,
                 label=workload.label,
                 data_size=workload.data_size,
@@ -157,6 +169,14 @@ def run_workload(
                 nodes=spec.num_nodes,
                 rack_size=resolved_rack or 0,
             )
+            # Provenance for the corpus index: which commit produced this
+            # run. Deterministic within a checkout (REPRO_GIT_COMMIT
+            # overrides in CI); omitted entirely outside git so journal
+            # bytes stay reproducible in both worlds.
+            commit = _journal_commit()
+            if commit is not None:
+                header["commit"] = commit
+            writer.write_header(**header)
         env = workload.fresh_env(
             obs=obs, journal=writer, trace_max_records=trace_max_records,
             fabric=fabric, partitioner=partitioner, rack_size=rack_size,

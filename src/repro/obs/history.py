@@ -90,6 +90,11 @@ def history_row(payload: dict, commit: Optional[str] = None) -> dict:
                 ),
                 "traffic_bytes": traffic.get("total_bytes", 0.0),
                 "host_shares": hostprof.get("shares"),
+                # the run's exchange configuration: trend series are keyed
+                # on it, so a twolevel sweep never pollutes the direct
+                # baseline's shift band
+                "fabric": entry.get("fabric", "direct"),
+                "partitioner": entry.get("partitioner", "hash"),
             }
     return {
         "schema": HISTORY_SCHEMA,
@@ -129,14 +134,55 @@ def load_history(path: str) -> list[dict]:
     return rows
 
 
-def series(history: list[dict], workload: str, engine: str, metric: str) -> list[float]:
-    """One metric's value per history row (rows missing the pair skipped)."""
+def entry_matches(entry: dict, fabric: str, partitioner: str) -> bool:
+    """Does a history entry belong to this exchange-configuration series?
+
+    Rows written before fabrics were recorded default to the legacy
+    direct/hash configuration, so old history files keep trending.
+    """
+    return (
+        entry.get("fabric", "direct") == fabric
+        and entry.get("partitioner", "hash") == partitioner
+    )
+
+
+def series(
+    history: list[dict],
+    workload: str,
+    engine: str,
+    metric: str,
+    fabric: str = "direct",
+    partitioner: str = "hash",
+) -> list[float]:
+    """One metric's value per history row (rows missing the series skipped).
+
+    A series is a full run configuration — workload × engine × fabric ×
+    partitioner — so cross-fabric runs never mix into one band.
+    """
     values = []
     for row in history:
         entry = row.get("rows", {}).get(workload, {}).get(engine)
-        if entry is not None and metric in entry:
+        if entry is not None and metric in entry and entry_matches(
+            entry, fabric, partitioner
+        ):
             values.append(float(entry[metric]))
     return values
+
+
+def series_label(
+    workload: str, engine: str, fabric: str = "direct", partitioner: str = "hash"
+) -> str:
+    """The canonical series selector: ``workload:engine[@fabric][+part]``.
+
+    Exactly the spec ``python -m repro.evaluation doctor --shift``
+    accepts, so trend output can print ready-to-run doctor commands.
+    """
+    label = f"{workload}:{engine}"
+    if fabric != "direct":
+        label += f"@{fabric}"
+    if partitioner != "hash":
+        label += f"+{partitioner}"
+    return label
 
 
 # -- change-point detection ---------------------------------------------------------
@@ -229,21 +275,36 @@ def trend_report(
     engines: Optional[list[str]] = None,
     **detect_kwargs: Any,
 ) -> dict:
-    """Shift verdicts for every workload × engine series in the history."""
-    pairs: set[tuple[str, str]] = set()
+    """Shift verdicts for every workload × engine × fabric × partitioner
+    series in the history."""
+    pairs: set[tuple[str, str, str, str]] = set()
     for row in history:
         for workload, per_engine in row.get("rows", {}).items():
-            for engine in per_engine:
-                pairs.add((workload, engine))
+            for engine, entry in per_engine.items():
+                pairs.add(
+                    (
+                        workload,
+                        engine,
+                        entry.get("fabric", "direct"),
+                        entry.get("partitioner", "hash"),
+                    )
+                )
     results = []
-    for workload, engine in sorted(pairs):
+    for workload, engine, fabric, partitioner in sorted(pairs):
         if workloads is not None and workload not in workloads:
             continue
         if engines is not None and engine not in engines:
             continue
-        values = series(history, workload, engine, metric)
+        values = series(history, workload, engine, metric, fabric, partitioner)
         verdict = detect_shift(values, **detect_kwargs)
-        verdict.update({"workload": workload, "engine": engine})
+        verdict.update(
+            {
+                "workload": workload,
+                "engine": engine,
+                "fabric": fabric,
+                "partitioner": partitioner,
+            }
+        )
         results.append(verdict)
     return {
         "schema": TREND_SCHEMA,
@@ -254,20 +315,26 @@ def trend_report(
     }
 
 
-def render_trend(report: dict) -> str:
-    """One line per series, plus an attribution hint on any shift."""
+def render_trend(report: dict, history_path: Optional[str] = None) -> str:
+    """One line per series; every SHIFT row prints the exact ready-to-run
+    ``doctor`` command that diagnoses it against the journal corpus."""
+    history_path = history_path or DEFAULT_HISTORY_PATH
     lines = [
         f"trend over {report['rows_total']} history rows, metric {report['metric']}",
-        f"{'workload':<20} {'engine':<8} {'status':<8} "
+        f"{'series':<32} {'status':<8} "
         f"{'median':>14} {'latest':>14} shift",
         "-" * 76,
     ]
+    doctor_commands = []
     for r in report["results"]:
+        label = series_label(
+            r["workload"], r["engine"],
+            r.get("fabric", "direct"), r.get("partitioner", "hash"),
+        )
         if r["status"] == "SHORT":
             detail = f"(only {r['n']} rows)"
             lines.append(
-                f"{r['workload']:<20} {r['engine']:<8} {r['status']:<8} "
-                f"{'-':>14} {'-':>14} {detail}"
+                f"{label:<32} {r['status']:<8} {'-':>14} {'-':>14} {detail}"
             )
             continue
         shift = "-"
@@ -275,16 +342,21 @@ def render_trend(report: dict) -> str:
             arrow = "+" if r["direction"] > 0 else "-"
             pct = f"{abs(r['delta_pct']):.1f}%" if r.get("delta_pct") is not None else "?"
             shift = f"row {r['index']} ({arrow}{pct})"
+            doctor_commands.append(
+                f"python -m repro.evaluation doctor --shift {label} "
+                f"--history {history_path} --metric {report['metric']}"
+            )
         lines.append(
-            f"{r['workload']:<20} {r['engine']:<8} {r['status']:<8} "
+            f"{label:<32} {r['status']:<8} "
             f"{r['median']:>14.3f} {r['latest']:>14.3f} {shift}"
         )
     lines.append("-" * 76)
     if report["shifts"]:
         lines.append(
-            f"{report['shifts']} sustained shift(s) detected — attribute with: "
-            "python -m repro.evaluation explain <good.jsonl> <bad.jsonl>"
+            f"{report['shifts']} sustained shift(s) detected — diagnose with:"
         )
+        for command in doctor_commands:
+            lines.append(f"  {command}")
     else:
         lines.append("no sustained shifts")
     return "\n".join(lines)

@@ -157,6 +157,8 @@ def replay_records(records: list[dict]) -> ReplayedRun:
             span = spans.get(rec["id"])
             if span is None:
                 raise JournalError(f"span close for unknown span id {rec['id']}")
+            if span.end is not None:
+                raise JournalError(f"duplicate close for span id {rec['id']}")
             span.end = rec["end"]
             args = rec.get("a")
             if args:

@@ -1,0 +1,182 @@
+"""SQL on the MapReduce baseline: the same queries, the Hadoop way.
+
+The flowlet compiler (:mod:`repro.sql.compiler`) maps a query onto
+Loader → Map → PartialReduce; this module maps the *same validated
+query* onto one MR job over the same cluster model, so any SELECT can
+run through **both** engines and be compared — BigBench-style SQL
+becomes a dual-engine workload like every Table 2 app:
+
+* **projection queries** — a map-only job: the mapper applies WHERE and
+  projects each surviving row (no shuffle, mirroring the flowlet
+  Map-to-sink pipeline).
+* **aggregate queries** — the mapper emits ``(group_key, per-aggregate
+  input tuple)`` exactly as the flowlet ``GroupMap`` does; the reducer
+  folds :class:`~repro.sql.compiler._Accumulators` ``initial``/
+  ``combine`` over the grouped values and finalizes (HAVING + rewritten
+  SELECT expressions) — the same fold logic object the flowlet path
+  runs, so both engines compute identical result rows.
+
+No combiner is attached: the accumulator state and the mapper's raw
+value tuples have different types (AVG folds ``(count, sum)`` pairs),
+and MR combiners fold raw values into accumulated output — mixing the
+two would corrupt AVG. The barrier shuffle carries the raw tuples
+instead, which is precisely the cost profile the paper attributes to
+MapReduce versus HAMR's incremental partial aggregation.
+
+ORDER BY / LIMIT stay driver-side (:func:`repro.sql.compiler.
+order_and_limit`), shared verbatim with the flowlet session.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mapreduce import Mapper, MRJob, Reducer
+from repro.sql.ast import AggregateCall, Column, Query, SQLError
+from repro.sql.compiler import (
+    _Accumulators,
+    _rewrite,
+    _validate_aggregate_query,
+    order_and_limit,
+)
+from repro.sql.parser import parse
+from repro.sql.session import QueryResult
+
+
+def build_query_job(query: Query, input_file: str, output_file: str) -> MRJob:
+    """One MR job executing ``query`` over DFS rows ``(row_id, dict)``."""
+    if query.join is not None:
+        raise SQLError("JOIN queries are not supported on the MapReduce path")
+    if query.is_aggregate:
+        return _aggregate_job(query, input_file, output_file)
+    return _projection_job(query, input_file, output_file)
+
+
+def _projection_job(query: Query, input_file: str, output_file: str) -> MRJob:
+    names = query.output_names()
+    where = query.where
+
+    def filter_project(ctx, row_id, row: dict) -> None:
+        if where is not None and not where.eval(row):
+            return
+        out = {name: item.expr.eval(row) for name, item in zip(names, query.select)}
+        ctx.emit(row_id, out)
+
+    return MRJob(
+        f"sql:{query.table}",
+        input_file,
+        output_file,
+        mapper=Mapper(fn=filter_project),
+    )
+
+
+def _aggregate_job(query: Query, input_file: str, output_file: str) -> MRJob:
+    _validate_aggregate_query(query)
+    aggs: list[AggregateCall] = []
+    mapping: dict[AggregateCall, int] = {}
+    for expr in [item.expr for item in query.select] + (
+        [query.having] if query.having is not None else []
+    ):
+        for agg in expr.aggregates():
+            if agg not in mapping:
+                mapping[agg] = len(aggs)
+                aggs.append(agg)
+    accumulators = _Accumulators(aggs)
+    select_rewritten = [
+        (item.name, _rewrite(item.expr, mapping)) for item in query.select
+    ]
+    having_rewritten = (
+        _rewrite(query.having, mapping) if query.having is not None else None
+    )
+    group_cols = query.group_by
+    where = query.where
+
+    def map_to_groups(ctx, _row_id, row: dict) -> None:
+        if where is not None and not where.eval(row):
+            return
+        key = tuple(Column(col).eval(row) for col in group_cols) if group_cols else ()
+        ctx.emit(key, accumulators.input_values(row))
+
+    def reduce_group(ctx, key: tuple, values: list) -> None:
+        acc = accumulators.initial()
+        for value in values:
+            acc = accumulators.combine(acc, value)
+        results = accumulators.results(acc)
+        row: dict[str, Any] = {col: value for col, value in zip(group_cols, key)}
+        for index, value in enumerate(results):
+            row[f"__agg{index}"] = value
+        out = {name: expr.eval(row) for name, expr in select_rewritten}
+        if having_rewritten is not None and not having_rewritten.eval({**row, **out}):
+            return
+        ctx.emit(key, out)
+
+    return MRJob(
+        f"sql:{query.table}",
+        input_file,
+        output_file,
+        mapper=Mapper(fn=map_to_groups),
+        reducer=Reducer(fn=reduce_group),
+    )
+
+
+class MRSQLSession:
+    """Parses and runs queries as MR jobs on an :class:`AppEnv`'s cluster.
+
+    Tables are ingested into the simulated DFS once at registration
+    (``sql.<table>`` files, rows as ``(row_id, dict)`` records) — the
+    MapReduce analogue of :class:`repro.sql.Catalog`, with the same
+    declared-schema escape hatch for legitimately empty tables.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._columns: dict[str, tuple[str, ...]] = {}
+        self._seq = 0
+
+    def register(self, name, rows, columns=None) -> None:
+        rows = list(rows)
+        if not name:
+            raise SQLError("table needs a name")
+        if columns is None:
+            if not rows:
+                raise SQLError(
+                    f"table {name!r} has no rows (register at least one, "
+                    "or declare columns= for an intentionally empty table)"
+                )
+            columns = tuple(rows[0].keys())
+        else:
+            columns = tuple(columns)
+            if not columns:
+                raise SQLError(f"table {name!r}: declared columns are empty")
+        for i, row in enumerate(rows):
+            if tuple(row.keys()) != columns:
+                raise SQLError(f"table {name!r}: row {i} columns differ from row 0")
+        self.env.ingest_dfs(self._input_file(name), list(enumerate(rows)))
+        self._columns[name] = columns
+
+    def tables(self) -> list[str]:
+        return sorted(self._columns)
+
+    def columns(self, name: str) -> tuple[str, ...]:
+        if name not in self._columns:
+            raise SQLError(f"unknown table {name!r}")
+        return self._columns[name]
+
+    @staticmethod
+    def _input_file(name: str) -> str:
+        return f"sql.{name}"
+
+    def run(self, sql: str) -> QueryResult:
+        """Execute one SELECT as an MR job; returns ordered, limited rows."""
+        query = parse(sql)
+        if query.table not in self._columns:
+            raise SQLError(f"unknown table {query.table!r}")
+        # DFS files are write-once: every query gets a fresh output path
+        self._seq += 1
+        job = build_query_job(
+            query, self._input_file(query.table), f"sql.q{self._seq}.out"
+        )
+        result = self.env.hadoop.run(job)
+        rows = [row for _key, row in result.outputs]
+        rows = order_and_limit(rows, query)
+        return QueryResult(query.output_names(), rows, result.makespan, query)

@@ -45,13 +45,35 @@ class Catalog:
         self._tables: dict[str, DataSource] = {}
         self._columns: dict[str, tuple[str, ...]] = {}
 
-    def register(self, name: str, rows: Iterable[dict], splits_per_worker: int = 2) -> None:
+    def register(
+        self,
+        name: str,
+        rows: Iterable[dict],
+        splits_per_worker: int = 2,
+        columns: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Register a row-list table.
+
+        Columns are inferred from the first row; an **empty** table is
+        legal only with an explicit declared schema (``columns=``) —
+        a fleet table like ``stragglers`` can legitimately hold zero
+        rows, but a schema-less empty registration is still an error
+        because queries against it could never resolve a column.
+        """
         rows = list(rows)
         if not name:
             raise SQLError("table needs a name")
-        if not rows:
-            raise SQLError(f"table {name!r} has no rows (register at least one)")
-        columns = tuple(rows[0].keys())
+        if columns is None:
+            if not rows:
+                raise SQLError(
+                    f"table {name!r} has no rows (register at least one, "
+                    "or declare columns= for an intentionally empty table)"
+                )
+            columns = tuple(rows[0].keys())
+        else:
+            columns = tuple(columns)
+            if not columns:
+                raise SQLError(f"table {name!r}: declared columns are empty")
         for i, row in enumerate(rows):
             if tuple(row.keys()) != columns:
                 raise SQLError(f"table {name!r}: row {i} columns differ from row 0")

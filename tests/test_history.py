@@ -12,11 +12,13 @@ from repro.obs.history import (
     append_history,
     detect_shift,
     encode_row,
+    entry_matches,
     history_row,
     load_history,
     render_trend,
     resolve_commit,
     series,
+    series_label,
     trend_report,
 )
 
@@ -96,6 +98,46 @@ class TestHistoryRows:
         rows.append({"schema": HISTORY_SCHEMA, "rows": {}})
         assert series(rows, "wordcount", "hamr", "virtual_seconds") == [1.0, 2.0]
 
+    def test_series_are_keyed_on_the_exchange_configuration(self):
+        rows = _synthetic_history([1.0, 2.0])
+        twolevel = _synthetic_history([9.0])[0]
+        twolevel["rows"]["wordcount"]["hamr"]["fabric"] = "twolevel"
+        rows.append(twolevel)
+        # a twolevel run never pollutes the direct baseline's band...
+        assert series(rows, "wordcount", "hamr", "virtual_seconds") == [1.0, 2.0]
+        # ...and trends as its own series
+        assert series(
+            rows, "wordcount", "hamr", "virtual_seconds", fabric="twolevel"
+        ) == [9.0]
+        shard = _synthetic_history([7.0])[0]
+        shard["rows"]["wordcount"]["hamr"]["partitioner"] = "shard"
+        assert series(
+            [shard], "wordcount", "hamr", "virtual_seconds",
+            partitioner="shard",
+        ) == [7.0]
+        assert series(
+            [shard], "wordcount", "hamr", "virtual_seconds"
+        ) == []
+
+    def test_legacy_entries_default_to_direct_hash(self):
+        # pre-fabric rows (no fabric/partitioner keys) keep trending in
+        # the default series
+        entry = {"virtual_seconds": 1.0}
+        assert entry_matches(entry, "direct", "hash")
+        assert not entry_matches(entry, "twolevel", "hash")
+
+    def test_series_label_is_a_doctor_spec(self):
+        assert series_label("wordcount", "hamr") == "wordcount:hamr"
+        assert series_label(
+            "terasort", "hadoop", fabric="twolevel"
+        ) == "terasort:hadoop@twolevel"
+        assert series_label(
+            "terasort", "hadoop", fabric="twolevel", partitioner="shard"
+        ) == "terasort:hadoop@twolevel+shard"
+        assert series_label(
+            "wordcount", "hamr", partitioner="shard"
+        ) == "wordcount:hamr+shard"
+
     def test_resolve_commit_prefers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_GIT_COMMIT", "deadbee")
         assert resolve_commit() == "deadbee"
@@ -170,14 +212,19 @@ class TestTrendReport:
         rows = _synthetic_history([41.2] * 10)
         assert trend_report(rows, engines=["hadoop"])["results"] == []
 
-    def test_render_mentions_explain_on_shift(self):
+    def test_render_prints_doctor_command_on_shift(self):
         rows = _synthetic_history([41.2] * 8 + [55.0, 55.2])
-        text = render_trend(trend_report(rows))
+        text = render_trend(trend_report(rows), history_path="hist.jsonl")
         assert "SHIFT" in text
         assert "row 8" in text
-        assert "explain" in text
+        # the exact ready-to-run diagnosis command, series spec included
+        assert (
+            "python -m repro.evaluation doctor --shift wordcount:hamr "
+            "--history hist.jsonl --metric virtual_seconds" in text
+        )
         quiet = render_trend(trend_report(_synthetic_history([41.2] * 10)))
         assert "no sustained shifts" in quiet
+        assert "doctor" not in quiet
 
 
 # -- CLI ----------------------------------------------------------------------------

@@ -553,3 +553,75 @@ class TestMultiBucketDilation:
             dilate_bucket_charges(writer.records, {"nope": 2.0})
         with pytest.raises(ValueError, match="positive"):
             dilate_bucket_charges(writer.records, {"disk": -1.0})
+
+
+# -- reader resilience -------------------------------------------------------------
+
+
+class TestReaderResilience:
+    """A fleet warehouse ingests journals it did not write: corrupted
+    lines, replayed duplicates and records from future schema versions
+    must fail with a clean JournalError (or degrade explicitly under
+    allow_partial), never with a KeyError deep in replay."""
+
+    @pytest.fixture(scope="class")
+    def lines(self):
+        _env, _result, writer = _run_journaled_wordcount()
+        return list(writer.lines)
+
+    def test_garbage_interleaved_line_raises_cleanly(self, lines):
+        torn = lines[: len(lines) // 2] + ["{'single': 'quotes"] + (
+            lines[len(lines) // 2:]
+        )
+        with pytest.raises(JournalError, match="malformed journal line"):
+            read_journal(torn)
+
+    def test_allow_partial_keeps_the_prefix_before_the_tear(self, lines):
+        cut = len(lines) // 2
+        torn = lines[:cut] + ["\x00\x00garbage"] + lines[cut:]
+        records = read_journal(torn, allow_partial=True)
+        # everything before the tear survives; the tail is discarded and
+        # a synthesized footer closes the stream
+        assert len(records) == cut + 1
+        assert records[-1]["t"] == "footer"
+        assert records[-1]["partial"] is True
+        run = replay_lines(torn, allow_partial=True)
+        assert run.partial
+
+    def test_duplicate_span_close_raises(self, lines):
+        records = [decode_record(line) for line in lines]
+        close = next(r for r in records if r["t"] == "sc")
+        i = records.index(close)
+        dup = records[: i + 1] + [dict(close)] + records[i + 1:]
+        with pytest.raises(JournalError, match="duplicate close for span id"):
+            replay_lines([encode_record(r) for r in dup])
+
+    def test_close_for_unknown_span_raises(self, lines):
+        records = [decode_record(line) for line in lines]
+        close = dict(next(r for r in records if r["t"] == "sc"))
+        close["id"] = 10**9
+        dup = records[:-1] + [close] + records[-1:]
+        with pytest.raises(JournalError, match="unknown span id"):
+            replay_lines([encode_record(r) for r in dup])
+
+    def test_unknown_future_record_type_raises(self, lines):
+        future = lines[:-1] + ['{"t":"zz9","v":1}'] + lines[-1:]
+        with pytest.raises(JournalError, match="unknown journal record type"):
+            read_journal(future)
+
+    def test_allow_partial_stops_at_a_future_record_type(self, lines):
+        cut = len(lines) - 5
+        future = lines[:cut] + ['{"t":"zz9","v":1}'] + lines[cut:]
+        records = read_journal(future, allow_partial=True)
+        assert len(records) == cut + 1
+        assert records[-1]["partial"] is True
+
+    def test_known_type_in_the_wrong_position_raises(self, lines):
+        records = [decode_record(line) for line in lines]
+        stray = records[:-1] + [dict(records[0])] + records[-1:]
+        with pytest.raises(JournalError, match="mid-journal"):
+            replay_lines([encode_record(r) for r in stray])
+
+    def test_headerless_stream_raises(self, lines):
+        with pytest.raises(JournalError, match="does not start with a header"):
+            read_journal(lines[1:])

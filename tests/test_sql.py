@@ -182,6 +182,30 @@ class TestSessionPlumbing:
         with pytest.raises(SQLError):
             catalog.register("ragged", [{"a": 1}, {"b": 2}])
 
+    def test_declared_columns_allow_an_empty_table(self):
+        # a legitimately empty table (e.g. a fleet with no stragglers)
+        # registers with columns= and queries like any other
+        env = AppEnv(small_cluster_spec(num_workers=3))
+        catalog = Catalog()
+        catalog.register("stragglers", [], columns=("run", "node"))
+        assert catalog.columns("stragglers") == ("run", "node")
+        session = SQLSession(env.hamr, catalog)
+        assert session.run("SELECT run, node FROM stragglers").rows == []
+        # no input rows → no groups: the global aggregate yields no row
+        # (same contract on the MapReduce path, so dual-engine checks hold)
+        result = session.run("SELECT COUNT(*) AS n FROM stragglers")
+        assert result.rows == []
+
+    def test_declared_columns_still_validate(self):
+        catalog = Catalog()
+        with pytest.raises(SQLError, match="columns are empty"):
+            catalog.register("empty", [], columns=())
+        with pytest.raises(SQLError, match="columns differ"):
+            catalog.register("bad", [{"a": 1}], columns=("a", "b"))
+        # schema-less empty registration keeps its original error
+        with pytest.raises(SQLError, match="declare columns="):
+            catalog.register("empty", [])
+
     def test_catalog_listing(self, session):
         assert session.catalog.tables() == ["movies"]
         assert session.catalog.columns("movies") == ("title", "genre", "year", "rating")
